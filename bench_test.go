@@ -1,0 +1,194 @@
+package clnlr
+
+// One benchmark per reconstructed figure/table (DESIGN.md §4). Each
+// iteration regenerates the figure at reduced fidelity (QuickConfig) so
+// `go test -bench=. -benchtime=1x` exercises the whole evaluation suite in
+// minutes; pass -benchtime higher or use cmd/experiments for full-fidelity
+// numbers. Headline means are exported through b.ReportMetric so bench
+// output doubles as a results sketch.
+
+import (
+	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/experiments"
+	"clnlr/internal/sim"
+)
+
+// benchConfig returns the per-iteration suite configuration. The seed
+// varies per iteration so -benchtime=Nx averages across seeds.
+func benchConfig(i int) experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Reps = 2
+	cfg.Seed = uint64(1000*i + 1)
+	return cfg
+}
+
+// report exports one metric series (per scheme at the largest X) from a
+// figure into the benchmark output.
+func report(b *testing.B, f experiments.Figure, metric string) {
+	b.Helper()
+	maxX := 0.0
+	for _, p := range f.Points {
+		if p.X > maxX {
+			maxX = p.X
+		}
+	}
+	for _, p := range f.Points {
+		if p.X != maxX {
+			continue
+		}
+		if v, ok := p.Values[metric]; ok {
+			b.ReportMetric(v.Mean, p.Scheme+"_"+metric)
+		}
+	}
+}
+
+func BenchmarkFigR1OverheadVsSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r1, _, err := experiments.FigR1R2(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, r1, "rreq/discovery")
+		}
+	}
+}
+
+func BenchmarkFigR2Reachability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, r2, err := experiments.FigR1R2(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, r2, "success")
+		}
+	}
+}
+
+func BenchmarkFigR3PDRVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r3, _, _, err := experiments.FigR3R4R7(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, r3, "pdr")
+		}
+	}
+}
+
+func BenchmarkFigR4DelayVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, r4, _, err := experiments.FigR3R4R7(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, r4, "delay-ms")
+		}
+	}
+}
+
+func BenchmarkFigR7NormalizedOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, r7, err := experiments.FigR3R4R7(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, r7, "ctl/delivered")
+		}
+	}
+}
+
+func BenchmarkFigR5ThroughputVsFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.FigR5(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, f, "kbps")
+		}
+	}
+}
+
+func BenchmarkFigR6LoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.FigR6(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, f, "fwd-max/mean")
+		}
+	}
+}
+
+func BenchmarkTabR2Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.TabR2(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, f, "pdr")
+		}
+	}
+}
+
+func BenchmarkFigR8Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.FigR8(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, f, "pdr")
+		}
+	}
+}
+
+func BenchmarkFigR9Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.FigR9(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, f, "pdr")
+		}
+	}
+}
+
+func BenchmarkFigR10Mobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.FigR10(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, f, "pdr")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: one default
+// scenario run per iteration, reporting simulated-seconds per wall-second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	sc := sim.DefaultScenario()
+	sc.Measure = 30 * des.Second
+	sc.SessionTime = 10 * des.Second
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		if _, err := sim.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simSeconds := (sc.Warmup + sc.Measure).Seconds() * float64(b.N)
+	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
+}

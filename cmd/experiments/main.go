@@ -1,0 +1,121 @@
+// experiments regenerates the reconstructed evaluation suite (DESIGN.md
+// §4): every figure and table, printed as aligned text and optionally
+// written as CSV files for plotting.
+//
+// Example:
+//
+//	experiments -quick                  # fast smoke pass (small sweeps)
+//	experiments -fig F-R3 -reps 10      # one figure at full fidelity
+//	experiments -out results/           # full suite + CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"clnlr/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		quick   = flag.Bool("quick", false, "small sweeps and few replications (smoke run)")
+		reps    = flag.Int("reps", 0, "replications per point (default 10, quick 3)")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		out     = flag.String("out", "", "directory to write per-figure CSV files")
+		charts  = flag.Bool("plot", false, "render ASCII charts in addition to tables")
+		figSel  = flag.String("fig", "", "comma-separated figure IDs to run (default all), e.g. F-R1,F-R3")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*figSel, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	fmt.Print(experiments.TabR1())
+
+	var figs []experiments.Figure
+	add := func(f experiments.Figure, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		figs = append(figs, f)
+	}
+
+	start := time.Now()
+	if selected("F-R1") || selected("F-R2") {
+		r1, r2, err := experiments.FigR1R2(cfg)
+		add(r1, err)
+		figs = append(figs, r2)
+	}
+	if selected("F-R3") || selected("F-R4") || selected("F-R7") {
+		r3, r4, r7, err := experiments.FigR3R4R7(cfg)
+		add(r3, err)
+		figs = append(figs, r4, r7)
+	}
+	if selected("F-R5") {
+		add(experiments.FigR5(cfg))
+	}
+	if selected("F-R6") {
+		add(experiments.FigR6(cfg))
+	}
+	if selected("T-R2") {
+		add(experiments.TabR2(cfg))
+	}
+	if selected("F-R8") {
+		add(experiments.FigR8(cfg))
+	}
+	if selected("F-R9") {
+		add(experiments.FigR9(cfg))
+	}
+	if selected("F-R10") {
+		add(experiments.FigR10(cfg))
+	}
+
+	for _, f := range figs {
+		fmt.Println()
+		fmt.Print(f.Table())
+		if *charts {
+			fmt.Println()
+			fmt.Print(f.Charts())
+		}
+	}
+	fmt.Printf("\nsuite completed in %v (%d figures, %d reps/point)\n",
+		time.Since(start).Round(time.Millisecond), len(figs), cfg.Reps)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range figs {
+			name := strings.ToLower(strings.ReplaceAll(f.ID, "-", "_")) + ".csv"
+			path := filepath.Join(*out, name)
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

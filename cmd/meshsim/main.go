@@ -1,0 +1,161 @@
+// meshsim runs a single wireless-mesh simulation scenario from flags and
+// prints its metrics. It is the interactive entry point for exploring the
+// simulator; cmd/experiments regenerates the paper's figures.
+//
+// Example:
+//
+//	meshsim -scheme clnlr -rows 7 -cols 7 -flows 10 -rate 8 -session 10s -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clnlr/internal/des"
+	"clnlr/internal/sim"
+	"clnlr/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("meshsim: ")
+
+	var (
+		scheme     = flag.String("scheme", "clnlr", "routing scheme: flood|gossip|counter|clnlr|clnlr-2hop")
+		topology   = flag.String("topo", "grid", "topology: grid|perturbed-grid|random")
+		rows       = flag.Int("rows", 7, "grid rows")
+		cols       = flag.Int("cols", 7, "grid cols")
+		nodes      = flag.Int("nodes", 50, "node count (random topology)")
+		area       = flag.Float64("area", 1000, "deployment area side in metres")
+		flows      = flag.Int("flows", 10, "concurrent flows")
+		rate       = flag.Float64("rate", 4, "packets per second per flow")
+		payload    = flag.Int("payload", 512, "payload bytes per packet")
+		poisson    = flag.Bool("poisson", false, "Poisson packet spacing instead of CBR")
+		gateway    = flag.Bool("gateway", false, "all flows sink at the centre node")
+		session    = flag.Duration("session", 0, "flow session length (0 = immortal flows)")
+		warmup     = flag.Duration("warmup", 0, "warm-up period (default 10s)")
+		measure    = flag.Duration("measure", 0, "measurement period (default 80s)")
+		seed       = flag.Uint64("seed", 1, "base random seed")
+		reps       = flag.Int("reps", 1, "replications (mean ± 95% CI when > 1)")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		discover   = flag.Int("discover", 0, "run N discovery rounds instead of a traffic experiment")
+		traceFile  = flag.String("trace", "", "write routing-event trace (NDJSON) to this file; forces reps=1")
+		configFile = flag.String("config", "", "load scenario from a JSON file (flags override its fields)")
+		dumpConfig = flag.String("dump-config", "", "write the effective scenario as JSON to this file and exit")
+	)
+	flag.Parse()
+
+	sc := sim.DefaultScenario()
+	if *configFile != "" {
+		var err error
+		sc, err = sim.LoadScenario(*configFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Explicitly passed flags override the config file; untouched flags
+	// leave the file's (or default scenario's) values alone.
+	apply := map[string]func(){
+		"scheme":  func() { sc.Scheme = sim.Scheme(*scheme) },
+		"topo":    func() { sc.Topology = sim.Topology(*topology) },
+		"rows":    func() { sc.Rows = *rows },
+		"cols":    func() { sc.Cols = *cols },
+		"nodes":   func() { sc.Nodes = *nodes },
+		"area":    func() { sc.AreaM = *area },
+		"flows":   func() { sc.Flows = *flows },
+		"rate":    func() { sc.PacketRate = *rate },
+		"payload": func() { sc.PayloadBytes = *payload },
+		"poisson": func() { sc.Poisson = *poisson },
+		"gateway": func() { sc.Gateway = *gateway },
+		"seed":    func() { sc.Seed = *seed },
+		"session": func() { sc.SessionTime = des.Time(*session) },
+		"warmup":  func() { sc.Warmup = des.Time(*warmup) },
+		"measure": func() { sc.Measure = des.Time(*measure) },
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if set, ok := apply[f.Name]; ok {
+			set()
+		}
+	})
+
+	if *dumpConfig != "" {
+		if err := sim.SaveScenario(*dumpConfig, sc); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote effective scenario to %s\n", *dumpConfig)
+		return
+	}
+
+	if *discover > 0 {
+		runDiscovery(sc, *discover, *reps, *workers)
+		return
+	}
+
+	var rs []sim.Result
+	if *traceFile != "" {
+		buf := trace.NewBuffer(1 << 20)
+		r, err := sim.RunTraced(sc, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := buf.WriteNDJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace records to %s (%d total, oldest evicted)\n",
+			buf.Len(), *traceFile, buf.Total())
+		rs = []sim.Result{r}
+		*reps = 1
+	} else {
+		var err error
+		rs, err = sim.RunReplications(sc, *reps, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("scheme=%s nodes=%d flows=%d rate=%g pkt/s payload=%dB reps=%d\n",
+		sc.Scheme, rs[0].Nodes, sc.Flows, sc.PacketRate, sc.PayloadBytes, *reps)
+	printSummary := func(name string, m sim.Metric) {
+		s := sim.Summarize(rs, m)
+		fmt.Printf("  %-22s %12.3f ± %.3f\n", name, s.Mean, s.CI95)
+	}
+	printSummary("PDR", sim.MetricPDR)
+	printSummary("mean delay (ms)", sim.MetricDelayMs)
+	printSummary("p95 delay (ms)", sim.MetricDelayP95Ms)
+	printSummary("throughput (kb/s)", sim.MetricThroughput)
+	printSummary("RREQ transmissions", sim.MetricRREQTx)
+	printSummary("control/delivered", sim.MetricNormOverhead)
+	printSummary("discovery success", sim.MetricDiscovery)
+	printSummary("fwd load std", sim.MetricForwardStd)
+	printSummary("fwd max/mean", sim.MetricForwardMax)
+	if *reps == 1 {
+		r := rs[0]
+		fmt.Printf("  %-22s %d sent, %d delivered, %d queue drops, %d retry drops\n",
+			"raw", r.Sent, r.Delivered, r.MACQueueDrops, r.MACRetryDrops)
+	}
+}
+
+func runDiscovery(sc sim.Scenario, rounds, reps, workers int) {
+	rs, err := sim.RunDiscoveryReplications(sc, rounds, 4*des.Second, reps, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovery experiment: scheme=%s nodes=%d rounds=%d reps=%d\n",
+		sc.Scheme, rs[0].Nodes, rounds, reps)
+	p := func(name string, m sim.DiscoveryMetric) {
+		s := sim.SummarizeDiscovery(rs, m)
+		fmt.Printf("  %-22s %12.3f ± %.3f\n", name, s.Mean, s.CI95)
+	}
+	p("RREQ per discovery", sim.DMetricRREQ)
+	p("success rate", sim.DMetricSuccess)
+	p("latency (ms)", sim.DMetricLatency)
+	os.Exit(0)
+}

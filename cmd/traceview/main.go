@@ -1,0 +1,90 @@
+// traceview summarises and filters routing-event traces produced by
+// `meshsim -trace <file>`.
+//
+// Examples:
+//
+//	traceview trace.ndjson                     # aggregate summary
+//	traceview -node 12 trace.ndjson            # one node's records
+//	traceview -event rreq -n 20 trace.ndjson   # first 20 RREQ events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clnlr/internal/pkt"
+	"clnlr/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceview: ")
+	var (
+		node  = flag.Int("node", -1, "only records from this node")
+		event = flag.String("event", "", "only events containing this substring")
+		limit = flag.Int("n", 0, "print at most this many matching records (0 = summary only)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: traceview [flags] <trace.ndjson>")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	records, err := trace.ReadNDJSON(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Apply filters.
+	var matched []trace.Record
+	for _, r := range records {
+		if *node >= 0 && r.Node != pkt.NodeID(*node) {
+			continue
+		}
+		if *event != "" && !containsFold(r.Event, *event) {
+			continue
+		}
+		matched = append(matched, r)
+	}
+
+	fmt.Print(trace.Summarize(matched).Format())
+	if *limit > 0 {
+		fmt.Println()
+		for i, r := range matched {
+			if i >= *limit {
+				fmt.Printf("... %d more\n", len(matched)-i)
+				break
+			}
+			fmt.Println(r.String())
+		}
+	}
+}
+
+// containsFold reports a case-insensitive substring match without pulling
+// in strings.ToLower allocations per record.
+func containsFold(s, sub string) bool {
+	n := len(sub)
+	if n == 0 {
+		return true
+	}
+	for i := 0; i+n <= len(s); i++ {
+		j := 0
+		for j < n {
+			a, b := s[i+j], sub[j]
+			if a|0x20 != b|0x20 {
+				break
+			}
+			j++
+		}
+		if j == n {
+			return true
+		}
+	}
+	return false
+}

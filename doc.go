@@ -1,0 +1,13 @@
+// Package clnlr is a from-scratch Go reproduction of "Cross layer
+// Neighbourhood Load Routing for Wireless Mesh Networks" (Zhao, Al-Dubai
+// & Min, 2010): a packet-level wireless mesh simulator (discrete-event
+// kernel, SINR radio medium, 802.11 DCF MAC), the CLNLR routing scheme,
+// its baselines (AODV flooding, gossip, counter-based suppression), and
+// the experiment harness that regenerates the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for reproduced results. The
+// benchmark targets in bench_test.go regenerate each figure:
+//
+//	go test -bench=FigR3 -benchtime=1x .
+package clnlr

@@ -1,0 +1,49 @@
+// Mobility: random-waypoint motion stresses route maintenance — links
+// break, RERRs propagate, sources re-discover. This example sweeps the
+// maximum node speed and reports delivery, overhead and per-node energy,
+// comparing plain AODV flooding with CLNLR.
+//
+// Run with: go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+
+	"clnlr/internal/des"
+	"clnlr/internal/sim"
+)
+
+func main() {
+	base := sim.DefaultScenario()
+	base.SessionTime = 10 * des.Second
+	base.PacketRate = 4
+	base.Measure = 40 * des.Second
+
+	fmt.Println("Random-waypoint mobility sweep, 7x7 mesh, 10 flows x 4 pkt/s (3 replications)")
+	fmt.Printf("%8s %-8s %8s %10s %10s %12s %10s\n",
+		"max m/s", "scheme", "PDR", "delay(ms)", "RREQ tx", "energy(J)", "fairness")
+
+	for _, speed := range []float64{0, 5, 10, 20} {
+		for _, scheme := range []sim.Scheme{sim.SchemeFlood, sim.SchemeCLNLR} {
+			sc := base.WithScheme(scheme)
+			sc.MobilitySpeed = speed
+			rs, err := sim.RunReplications(sc, 3, 0)
+			if err != nil {
+				panic(err)
+			}
+			pdr := sim.Summarize(rs, sim.MetricPDR)
+			dly := sim.Summarize(rs, sim.MetricDelayMs)
+			rreq := sim.Summarize(rs, sim.MetricRREQTx)
+			en := sim.Summarize(rs, sim.MetricEnergyMean)
+			fair := sim.Summarize(rs, sim.MetricFairness)
+			fmt.Printf("%8.0f %-8s %8.3f %10.1f %10.0f %12.1f %10.3f\n",
+				speed, scheme, pdr.Mean, dly.Mean, rreq.Mean, en.Mean, fair.Mean)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Motion forces re-discovery: RREQ overhead climbs with speed for both")
+	fmt.Println("schemes, with CLNLR's adaptive suppression containing the growth.")
+	fmt.Println("Energy is dominated by idle/overhearing cost; the control-traffic")
+	fmt.Println("difference shows up in the third decimal of the per-node mean.")
+}

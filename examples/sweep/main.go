@@ -1,0 +1,44 @@
+// Sweep: a custom parameter study using the replication harness — how
+// CLNLR's load-sensitivity exponent Gamma moves the overhead/delivery
+// trade-off under load. Demonstrates fanning replications out over the
+// worker pool and summarising with confidence intervals.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+
+	"clnlr/internal/des"
+	"clnlr/internal/sim"
+)
+
+func main() {
+	base := sim.DefaultScenario().WithScheme(sim.SchemeCLNLR)
+	base.PacketRate = 12
+	base.SessionTime = 10 * des.Second
+	base.Measure = 40 * des.Second
+
+	fmt.Println("CLNLR Gamma sweep at 10 flows x 12 pkt/s (5 replications per point)")
+	fmt.Printf("%6s %16s %16s %16s %14s\n", "gamma", "PDR", "RREQ tx", "delay (ms)", "discovery")
+
+	for _, gamma := range []float64{0, 0.5, 1, 1.5, 2, 3} {
+		sc := base
+		sc.CLNLR.Gamma = gamma
+		rs, err := sim.RunReplications(sc, 5, 0)
+		if err != nil {
+			panic(err)
+		}
+		pdr := sim.Summarize(rs, sim.MetricPDR)
+		rreq := sim.Summarize(rs, sim.MetricRREQTx)
+		dly := sim.Summarize(rs, sim.MetricDelayMs)
+		dr := sim.Summarize(rs, sim.MetricDiscovery)
+		fmt.Printf("%6.1f %8.3f ±%5.3f %9.0f ±%5.0f %9.1f ±%5.1f %7.2f ±%4.2f\n",
+			gamma, pdr.Mean, pdr.CI95, rreq.Mean, rreq.CI95, dly.Mean, dly.CI95, dr.Mean, dr.CI95)
+	}
+
+	fmt.Println()
+	fmt.Println("Gamma 0 disables load-adaptive suppression (probability stays at PBase);")
+	fmt.Println("large Gamma suppresses aggressively in loaded neighbourhoods, trading")
+	fmt.Println("RREQ overhead against first-attempt discovery success.")
+}

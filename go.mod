@@ -1,0 +1,3 @@
+module clnlr
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package des implements the discrete-event simulation kernel that drives
+// every experiment in this repository.
+//
+// The kernel is a classic event-list design: a binary heap of pending
+// events ordered by (time, insertion sequence). The sequence number makes
+// simultaneous events execute in FIFO order of scheduling, which — together
+// with the deterministic RNG streams in internal/rng — makes whole runs
+// bit-reproducible.
+//
+// A single Sim is strictly single-goroutine: handlers run inline from Run
+// and may freely schedule or cancel further events. Parallelism in this
+// project happens one level up (independent replications fan out across a
+// worker pool in internal/sim), which keeps the hot event loop free of
+// locks and atomic operations.
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback handle. Handles may be retained after the
+// event fires; Cancel on a fired event is a harmless no-op. The zero Event
+// is not valid; events are created by Sim.Schedule and Sim.At.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+}
+
+// Time returns the instant the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel must only be called
+// from the simulation goroutine.
+func (e *Event) Cancel() {
+	if !e.fired {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether the event was cancelled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Fired reports whether the event's handler has run.
+func (e *Event) Fired() bool { return e.fired }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+const maxTime = Time(int64(^uint64(0) >> 1))
+
+// Sim is a discrete-event simulation instance.
+type Sim struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	stopped  bool
+	executed uint64
+}
+
+// NewSim returns an empty simulation positioned at time zero.
+func NewSim() *Sim {
+	return &Sim{events: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Pending returns the number of events still queued (including events that
+// were cancelled but not yet reaped).
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Executed returns the total number of events that have fired.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Schedule queues fn to run delay after the current time and returns a
+// handle that can cancel it. A negative delay is treated as zero (the
+// event fires "now", after currently queued same-time events).
+func (s *Sim) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At queues fn to run at absolute time t. Scheduling in the past is an
+// error in simulation logic; the kernel clamps it to "now" to preserve the
+// monotonic clock rather than corrupting the event order.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("des: At called with nil handler")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// Stop makes Run return after the currently executing handler finishes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events in order until the queue is empty or Stop is called.
+func (s *Sim) Run() { s.RunUntil(maxTime) }
+
+// RunUntil executes events in order until the queue is empty, Stop is
+// called, or the next event is later than horizon. If the run reaches the
+// horizon (either because the next event lies beyond it or the queue
+// drained first), the clock is advanced to exactly horizon.
+func (s *Sim) RunUntil(horizon Time) {
+	s.stopped = false
+	for !s.stopped && len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > horizon {
+			s.now = horizon
+			return
+		}
+		heap.Pop(&s.events)
+		if next.canceled {
+			next.fn = nil
+			continue
+		}
+		s.now = next.at
+		fn := next.fn
+		next.fn = nil
+		next.fired = true
+		fn()
+		s.executed++
+	}
+	if len(s.events) == 0 && s.now < horizon && horizon != maxTime {
+		s.now = horizon
+	}
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig shrinks everything to smoke-test the figure plumbing.
+func tinyConfig() Config {
+	return Config{Reps: 2, Workers: 0, Seed: 7, Quick: true}
+}
+
+func TestFigR1R2Shapes(t *testing.T) {
+	r1, r2, err := FigR1R2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Points) == 0 || len(r2.Points) == 0 {
+		t.Fatal("empty figures")
+	}
+	// Flood must have the highest RREQ count at every size.
+	xs, schemes := r1.axes()
+	if len(schemes) < 3 {
+		t.Fatalf("schemes %v", schemes)
+	}
+	for _, x := range xs {
+		flood, ok := r1.lookup(x, "flood", "rreq/discovery")
+		if !ok {
+			t.Fatalf("missing flood point at %v", x)
+		}
+		for _, s := range schemes {
+			v, ok := r1.lookup(x, s, "rreq/discovery")
+			if !ok {
+				t.Fatalf("missing %s point at %v", s, x)
+			}
+			if v.Mean > flood.Mean*1.05 {
+				t.Errorf("%s rreq %.1f exceeds flood %.1f at %v nodes", s, v.Mean, flood.Mean, x)
+			}
+		}
+	}
+	// Unloaded discovery success must be high for every scheme.
+	for _, p := range r2.Points {
+		if s := p.Values["success"]; s.Mean < 0.8 {
+			t.Errorf("%s success %.2f at %v nodes", p.Scheme, s.Mean, p.X)
+		}
+	}
+	// RREQ per discovery grows with network size for flood.
+	first, _ := r1.lookup(xs[0], "flood", "rreq/discovery")
+	last, _ := r1.lookup(xs[len(xs)-1], "flood", "rreq/discovery")
+	if last.Mean <= first.Mean {
+		t.Errorf("flood overhead did not grow with size: %.1f -> %.1f", first.Mean, last.Mean)
+	}
+}
+
+func TestTabR2AndRendering(t *testing.T) {
+	f, err := TabR2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := f.Table()
+	for _, want := range []string{"T-R2", "pdr", "flood", "clnlr"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "figure,x,scheme,metric,mean,ci95,n\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	lines := strings.Count(csv, "\n")
+	if lines < 6 {
+		t.Fatalf("csv has only %d lines", lines)
+	}
+}
+
+func TestTabR1Static(t *testing.T) {
+	s := TabR1()
+	for _, want := range []string{"T-R1", "250 m", "DCF", "CLNLR"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("parameter table missing %q", want)
+		}
+	}
+}
+
+func TestFigR6GatewayConcentration(t *testing.T) {
+	f, err := FigR6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gateway workload must concentrate forwarding more than the
+	// uniform workload for every scheme.
+	for _, scheme := range []string{"flood", "clnlr"} {
+		uni, ok1 := f.lookup(0, scheme, "fwd-max/mean")
+		gw, ok2 := f.lookup(1, scheme, "fwd-max/mean")
+		if !ok1 || !ok2 {
+			t.Fatalf("missing %s points", scheme)
+		}
+		if gw.Mean <= uni.Mean {
+			t.Errorf("%s: gateway max/mean %.2f not above uniform %.2f", scheme, gw.Mean, uni.Mean)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := DefaultConfig()
+	if d.Reps != 10 || d.Quick {
+		t.Fatalf("default config %+v", d)
+	}
+	q := QuickConfig()
+	if !q.Quick || q.Reps >= d.Reps {
+		t.Fatalf("quick config %+v", q)
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	f, err := TabR2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	charts := f.Charts()
+	if !strings.Contains(charts, "T-R2") || !strings.Contains(charts, "flood") {
+		t.Fatalf("charts missing content:\n%s", charts)
+	}
+	if f.Chart("no-such-metric") != "" {
+		t.Fatal("unknown metric rendered a chart")
+	}
+}
+
+// checkFigure asserts structural sanity: every (x, scheme) cell exists for
+// every declared metric, and values lie in sane ranges.
+func checkFigure(t *testing.T, f Figure, wantPoints int) {
+	t.Helper()
+	if len(f.Points) != wantPoints {
+		t.Fatalf("%s: %d points, want %d", f.ID, len(f.Points), wantPoints)
+	}
+	for _, p := range f.Points {
+		for _, m := range f.Metrics {
+			v, ok := p.Values[m]
+			if !ok {
+				t.Fatalf("%s: point (%v, %s) missing metric %s", f.ID, p.X, p.Scheme, m)
+			}
+			if v.N < 1 {
+				t.Fatalf("%s: metric %s has no replications", f.ID, m)
+			}
+			if m == "pdr" && (v.Mean < 0 || v.Mean > 1) {
+				t.Fatalf("%s: pdr %v out of range", f.ID, v.Mean)
+			}
+		}
+	}
+	if f.Table() == "" || f.CSV() == "" {
+		t.Fatalf("%s: empty rendering", f.ID)
+	}
+}
+
+func TestFigR3R4R7Structure(t *testing.T) {
+	cfg := tinyConfig()
+	r3, r4, r7, err := FigR3R4R7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := len(loadRates(cfg)) * len(schemeSet(cfg))
+	checkFigure(t, r3, points)
+	checkFigure(t, r4, points)
+	checkFigure(t, r7, points)
+	// At the lowest load every scheme must deliver essentially everything.
+	xs, schemes := r3.axes()
+	for _, s := range schemes {
+		v, ok := r3.lookup(xs[0], s, "pdr")
+		if !ok || v.Mean < 0.95 {
+			t.Errorf("%s PDR %.3f at lowest load", s, v.Mean)
+		}
+	}
+}
+
+func TestFigR5Structure(t *testing.T) {
+	cfg := tinyConfig()
+	f, err := FigR5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, f, len(flowCounts(cfg))*len(schemeSet(cfg)))
+	// Throughput grows with flow count below saturation.
+	xs, _ := f.axes()
+	lo, _ := f.lookup(xs[0], "flood", "kbps")
+	hi, _ := f.lookup(xs[len(xs)-1], "flood", "kbps")
+	if hi.Mean <= lo.Mean {
+		t.Errorf("throughput did not grow with flows: %.1f -> %.1f", lo.Mean, hi.Mean)
+	}
+}
+
+func TestFigR8Structure(t *testing.T) {
+	cfg := tinyConfig()
+	f, err := FigR8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 4 { // quick config truncates the variant list
+		t.Fatalf("ablation points %d", len(f.Points))
+	}
+	names := map[string]bool{}
+	for _, p := range f.Points {
+		names[p.Scheme] = true
+	}
+	if !names["clnlr-default"] || !names["beta0"] {
+		t.Fatalf("ablation variants missing: %v", names)
+	}
+}
+
+func TestFigR9Structure(t *testing.T) {
+	cfg := tinyConfig()
+	f, err := FigR9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, f, len(densityCounts(cfg))*len(schemeSet(cfg)))
+}
+
+func TestFigR10Structure(t *testing.T) {
+	cfg := tinyConfig()
+	f, err := FigR10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, f, len(mobilitySpeeds(cfg))*len(schemeSet(cfg)))
+	// The static point must be present (speed 0).
+	if _, ok := f.lookup(0, "flood", "pdr"); !ok {
+		t.Fatal("static baseline point missing")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite takes ~1 min")
+	}
+	figs, err := RunAll(Config{Reps: 2, Workers: 0, Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 11 {
+		t.Fatalf("RunAll produced %d figures, want 11 (F-R1..R10 + T-R2)", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		ids[f.ID] = true
+	}
+	for _, want := range []string{"F-R1", "F-R2", "F-R3", "F-R4", "F-R5",
+		"F-R6", "F-R7", "F-R8", "F-R9", "F-R10", "T-R2"} {
+		if !ids[want] {
+			t.Fatalf("RunAll missing %s (got %v)", want, ids)
+		}
+	}
+}

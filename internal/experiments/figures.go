@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clnlr/internal/des"
+	"clnlr/internal/sim"
+	"clnlr/internal/stats"
+)
+
+// gridSizes returns the (rows, cols) sweep of the size figures. Area
+// scales with the grid so node spacing (≈143 m) and density stay constant,
+// isolating the effect of network size.
+func gridSizes(cfg Config) [][2]int {
+	if cfg.Quick {
+		return [][2]int{{4, 4}, {6, 6}, {8, 8}}
+	}
+	return [][2]int{{4, 4}, {5, 5}, {6, 6}, {7, 7}, {8, 8}, {9, 9}}
+}
+
+const gridSpacingM = 1000.0 / 7 // Table R-1 spacing
+
+// discoveryRounds returns the per-run probe count for discovery figures.
+func discoveryRounds(cfg Config) int {
+	if cfg.Quick {
+		return 8
+	}
+	return 20
+}
+
+// FigR1R2 runs the discovery-round size sweep once and returns
+// F-R1 (RREQ transmissions per discovery vs network size) and
+// F-R2 (discovery success rate vs network size).
+func FigR1R2(cfg Config) (Figure, Figure, error) {
+	r1 := Figure{
+		ID: "F-R1", Title: "RREQ transmissions per route discovery vs network size",
+		XLabel: "nodes", Metrics: []string{"rreq/discovery"},
+	}
+	r2 := Figure{
+		ID: "F-R2", Title: "Route discovery success rate vs network size",
+		XLabel: "nodes", Metrics: []string{"success", "latency-ms"},
+	}
+	for _, dim := range gridSizes(cfg) {
+		for _, scheme := range schemeSet(cfg) {
+			sc := baseScenario(cfg).WithScheme(scheme)
+			sc.Rows, sc.Cols = dim[0], dim[1]
+			sc.AreaM = gridSpacingM * float64(dim[1])
+			sc.Flows = 0 // unloaded discovery
+			rs, err := sim.RunDiscoveryReplications(sc, discoveryRounds(cfg), 4*des.Second, cfg.Reps, cfg.Workers)
+			if err != nil {
+				return r1, r2, fmt.Errorf("F-R1/2 %dx%d %s: %w", dim[0], dim[1], scheme, err)
+			}
+			x := float64(dim[0] * dim[1])
+			r1.Points = append(r1.Points, Point{X: x, Scheme: string(scheme), Values: map[string]stats.Summary{
+				"rreq/discovery": sim.SummarizeDiscovery(rs, sim.DMetricRREQ),
+			}})
+			r2.Points = append(r2.Points, Point{X: x, Scheme: string(scheme), Values: map[string]stats.Summary{
+				"success":    sim.SummarizeDiscovery(rs, sim.DMetricSuccess),
+				"latency-ms": sim.SummarizeDiscovery(rs, sim.DMetricLatency),
+			}})
+		}
+	}
+	return r1, r2, nil
+}
+
+// loadRates returns the offered-load sweep (packets/s per flow).
+func loadRates(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{4, 12, 20}
+	}
+	return []float64{2, 4, 8, 12, 16, 20, 24}
+}
+
+// FigR3R4R7 runs the offered-load sweep once and returns
+// F-R3 (packet delivery ratio vs load), F-R4 (end-to-end delay vs load)
+// and F-R7 (normalized routing overhead vs load).
+func FigR3R4R7(cfg Config) (Figure, Figure, Figure, error) {
+	r3 := Figure{ID: "F-R3", Title: "Packet delivery ratio vs offered load",
+		XLabel: "pkt/s per flow", Metrics: []string{"pdr"}}
+	r4 := Figure{ID: "F-R4", Title: "End-to-end delay vs offered load (mean and p95)",
+		XLabel: "pkt/s per flow", Metrics: []string{"delay-ms", "delay-p95-ms"}}
+	r7 := Figure{ID: "F-R7", Title: "Normalized routing overhead vs offered load",
+		XLabel: "pkt/s per flow", Metrics: []string{"ctl/delivered", "rreq-tx"}}
+	for _, rate := range loadRates(cfg) {
+		for _, scheme := range schemeSet(cfg) {
+			sc := baseScenario(cfg).WithScheme(scheme)
+			sc.PacketRate = rate
+			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
+			if err != nil {
+				return r3, r4, r7, fmt.Errorf("F-R3/4/7 rate=%v %s: %w", rate, scheme, err)
+			}
+			r3.Points = append(r3.Points, Point{X: rate, Scheme: string(scheme), Values: map[string]stats.Summary{
+				"pdr": sim.Summarize(rs, sim.MetricPDR),
+			}})
+			r4.Points = append(r4.Points, Point{X: rate, Scheme: string(scheme), Values: map[string]stats.Summary{
+				"delay-ms":     sim.Summarize(rs, sim.MetricDelayMs),
+				"delay-p95-ms": sim.Summarize(rs, sim.MetricDelayP95Ms),
+			}})
+			r7.Points = append(r7.Points, Point{X: rate, Scheme: string(scheme), Values: map[string]stats.Summary{
+				"ctl/delivered": sim.Summarize(rs, sim.MetricNormOverhead),
+				"rreq-tx":       sim.Summarize(rs, sim.MetricRREQTx),
+			}})
+		}
+	}
+	return r3, r4, r7, nil
+}
+
+// flowCounts returns the flow-count sweep of F-R5.
+func flowCounts(cfg Config) []int {
+	if cfg.Quick {
+		return []int{5, 15}
+	}
+	return []int{2, 5, 10, 15, 20, 25}
+}
+
+// FigR5 returns throughput versus the number of concurrent flows.
+func FigR5(cfg Config) (Figure, error) {
+	f := Figure{ID: "F-R5", Title: "Aggregate delivered throughput vs number of flows",
+		XLabel: "flows", Metrics: []string{"kbps", "pdr"}}
+	for _, flows := range flowCounts(cfg) {
+		for _, scheme := range schemeSet(cfg) {
+			sc := baseScenario(cfg).WithScheme(scheme)
+			sc.Flows = flows
+			sc.PacketRate = 8
+			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
+			if err != nil {
+				return f, fmt.Errorf("F-R5 flows=%d %s: %w", flows, scheme, err)
+			}
+			f.Points = append(f.Points, Point{X: float64(flows), Scheme: string(scheme), Values: map[string]stats.Summary{
+				"kbps": sim.Summarize(rs, sim.MetricThroughput),
+				"pdr":  sim.Summarize(rs, sim.MetricPDR),
+			}})
+		}
+	}
+	return f, nil
+}
+
+// FigR6 returns the load-balance comparison: the distribution of
+// per-node forwarding burden under the uniform and gateway (hotspot)
+// workloads. X encodes the workload: 0 = uniform, 1 = gateway.
+func FigR6(cfg Config) (Figure, error) {
+	f := Figure{ID: "F-R6", Title: "Forwarding load balance (0 = uniform workload, 1 = gateway hotspot)",
+		XLabel: "workload", Metrics: []string{"fwd-std", "fwd-max/mean", "pdr"}}
+	for _, gateway := range []bool{false, true} {
+		for _, scheme := range schemeSet(cfg) {
+			sc := baseScenario(cfg).WithScheme(scheme)
+			sc.Gateway = gateway
+			sc.PacketRate = 10
+			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
+			if err != nil {
+				return f, fmt.Errorf("F-R6 gw=%v %s: %w", gateway, scheme, err)
+			}
+			x := 0.0
+			if gateway {
+				x = 1
+			}
+			f.Points = append(f.Points, Point{X: x, Scheme: string(scheme), Values: map[string]stats.Summary{
+				"fwd-std":      sim.Summarize(rs, sim.MetricForwardStd),
+				"fwd-max/mean": sim.Summarize(rs, sim.MetricForwardMax),
+				"pdr":          sim.Summarize(rs, sim.MetricPDR),
+			}})
+		}
+	}
+	return f, nil
+}
+
+// TabR2 returns the summary table at the default operating point: every
+// headline metric for every scheme (X = 0 for all points).
+func TabR2(cfg Config) (Figure, error) {
+	f := Figure{ID: "T-R2", Title: "Summary at the default operating point (10 flows × 8 pkt/s)",
+		XLabel: "-", Metrics: []string{"pdr", "delay-ms", "rreq-tx", "ctl/delivered", "fwd-max/mean", "discovery"}}
+	for _, scheme := range schemeSet(cfg) {
+		sc := baseScenario(cfg).WithScheme(scheme)
+		sc.PacketRate = 8
+		rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
+		if err != nil {
+			return f, fmt.Errorf("T-R2 %s: %w", scheme, err)
+		}
+		f.Points = append(f.Points, Point{X: 0, Scheme: string(scheme), Values: map[string]stats.Summary{
+			"pdr":           sim.Summarize(rs, sim.MetricPDR),
+			"delay-ms":      sim.Summarize(rs, sim.MetricDelayMs),
+			"rreq-tx":       sim.Summarize(rs, sim.MetricRREQTx),
+			"ctl/delivered": sim.Summarize(rs, sim.MetricNormOverhead),
+			"fwd-max/mean":  sim.Summarize(rs, sim.MetricForwardMax),
+			"discovery":     sim.Summarize(rs, sim.MetricDiscovery),
+		}})
+	}
+	return f, nil
+}
+
+// FigR8 is the CLNLR ablation: neighbourhood depth, Beta (load-aware
+// cost on/off) and Gamma (suppression aggressiveness) at a loaded
+// operating point. X indexes the variant.
+func FigR8(cfg Config) (Figure, error) {
+	f := Figure{ID: "F-R8", Title: "CLNLR ablation at 10 flows × 12 pkt/s (variants indexed)",
+		XLabel: "variant", Metrics: []string{"pdr", "delay-ms", "rreq-tx", "fwd-max/mean"}}
+	type variant struct {
+		name string
+		mut  func(*sim.Scenario)
+	}
+	variants := []variant{
+		{"clnlr-default", func(sc *sim.Scenario) {}},
+		{"2hop", func(sc *sim.Scenario) { sc.Scheme = sim.SchemeCLNLR2 }},
+		{"beta0", func(sc *sim.Scenario) { sc.CLNLR.Beta = 0 }},
+		{"beta4", func(sc *sim.Scenario) { sc.CLNLR.Beta = 4 }},
+		{"gamma0.5", func(sc *sim.Scenario) { sc.CLNLR.Gamma = 0.5 }},
+		{"gamma3", func(sc *sim.Scenario) { sc.CLNLR.Gamma = 3 }},
+		{"no-window", func(sc *sim.Scenario) { sc.CLNLR.ReplyWindow = 0 }},
+		{"no-retry-boost", func(sc *sim.Scenario) { sc.CLNLR.RetryBoost = 0 }},
+		{"rts-cts", func(sc *sim.Scenario) { sc.Mac.RTSThreshold = 256 }},
+		{"expanding-ring", func(sc *sim.Scenario) { sc.Routing.ExpandingRing = []int{2, 4} }},
+		{"ctl-priority", func(sc *sim.Scenario) { sc.Mac.ControlPriority = true }},
+		{"auto-rate", func(sc *sim.Scenario) { sc.Mac.AutoRate = true }},
+	}
+	if cfg.Quick {
+		variants = variants[:4]
+	}
+	for i, v := range variants {
+		sc := baseScenario(cfg).WithScheme(sim.SchemeCLNLR)
+		sc.PacketRate = 12
+		v.mut(&sc)
+		rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
+		if err != nil {
+			return f, fmt.Errorf("F-R8 %s: %w", v.name, err)
+		}
+		f.Points = append(f.Points, Point{X: float64(i), Scheme: v.name, Values: map[string]stats.Summary{
+			"pdr":          sim.Summarize(rs, sim.MetricPDR),
+			"delay-ms":     sim.Summarize(rs, sim.MetricDelayMs),
+			"rreq-tx":      sim.Summarize(rs, sim.MetricRREQTx),
+			"fwd-max/mean": sim.Summarize(rs, sim.MetricForwardMax),
+		}})
+	}
+	return f, nil
+}
+
+// densityCounts returns the node-count sweep of F-R9 (fixed 1000×1000 m
+// area, uniform random placement).
+func densityCounts(cfg Config) []int {
+	if cfg.Quick {
+		return []int{40, 80}
+	}
+	return []int{30, 40, 50, 65, 80, 100}
+}
+
+// FigR9 returns the density sweep: random topologies with increasing node
+// count in a fixed area.
+func FigR9(cfg Config) (Figure, error) {
+	f := Figure{ID: "F-R9", Title: "Random-topology density sweep (fixed 1000 m² area)",
+		XLabel: "nodes", Metrics: []string{"pdr", "rreq-tx", "delay-ms"}}
+	for _, n := range densityCounts(cfg) {
+		for _, scheme := range schemeSet(cfg) {
+			sc := baseScenario(cfg).WithScheme(scheme)
+			sc.Topology = sim.TopoRandom
+			sc.Nodes = n
+			sc.PacketRate = 8
+			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
+			if err != nil {
+				return f, fmt.Errorf("F-R9 n=%d %s: %w", n, scheme, err)
+			}
+			f.Points = append(f.Points, Point{X: float64(n), Scheme: string(scheme), Values: map[string]stats.Summary{
+				"pdr":      sim.Summarize(rs, sim.MetricPDR),
+				"rreq-tx":  sim.Summarize(rs, sim.MetricRREQTx),
+				"delay-ms": sim.Summarize(rs, sim.MetricDelayMs),
+			}})
+		}
+	}
+	return f, nil
+}
+
+// mobilitySpeeds returns the max-speed sweep of F-R10 (m/s).
+func mobilitySpeeds(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0, 10}
+	}
+	return []float64{0, 2, 5, 10, 15, 20}
+}
+
+// FigR10 is the mobility extension: random-waypoint node motion stresses
+// link breakage, RERR propagation and re-discovery. (The paper's mesh
+// backbone is static; this reproduces the MANET-style robustness sweep
+// the authors' companion papers report.)
+func FigR10(cfg Config) (Figure, error) {
+	f := Figure{ID: "F-R10", Title: "Mobility extension: random waypoint, PDR/overhead vs max speed",
+		XLabel: "max speed (m/s)", Metrics: []string{"pdr", "rreq-tx", "delay-ms"}}
+	for _, speed := range mobilitySpeeds(cfg) {
+		for _, scheme := range schemeSet(cfg) {
+			sc := baseScenario(cfg).WithScheme(scheme)
+			sc.MobilitySpeed = speed
+			sc.PacketRate = 4
+			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
+			if err != nil {
+				return f, fmt.Errorf("F-R10 v=%v %s: %w", speed, scheme, err)
+			}
+			f.Points = append(f.Points, Point{X: speed, Scheme: string(scheme), Values: map[string]stats.Summary{
+				"pdr":      sim.Summarize(rs, sim.MetricPDR),
+				"rreq-tx":  sim.Summarize(rs, sim.MetricRREQTx),
+				"delay-ms": sim.Summarize(rs, sim.MetricDelayMs),
+			}})
+		}
+	}
+	return f, nil
+}
+
+// TabR1 renders the simulation-parameter table (static configuration).
+func TabR1() string {
+	sc := sim.DefaultScenario()
+	return fmt.Sprintf(`T-R1 — Simulation parameters
+  PHY                 802.11b DSSS, two-ray ground propagation (914 MHz)
+  Data / basic rate   %d / %d Mb/s
+  TX range / CS range 250 m / 550 m
+  Area                %.0f x %.0f m
+  Default topology    %dx%d grid (%d nodes)
+  MAC                 DCF, CWmin %d, CWmax %d, retry limit %d, queue %d pkts
+  Traffic             %d CBR flows, %g pkt/s x %d B, 10 s sessions
+  Warm-up / measure   %v / %v
+  Replications        10 (95%% confidence intervals)
+  Schemes             flood (AODV), gossip(p=%.1f,k=%d), counter(C=%d), CLNLR, CLNLR-2hop
+  CLNLR               PBase %.2f, PMin %.2f, Gamma %.1f, Beta %.1f, window %v, HELLO %v
+`,
+		sc.Mac.DataRateBps/1_000_000, sc.Mac.BasicRateBps/1_000_000,
+		sc.AreaM, sc.AreaM, sc.Rows, sc.Cols, sc.Rows*sc.Cols,
+		sc.Mac.CWMin, sc.Mac.CWMax, sc.Mac.RetryLimit, sc.Mac.QueueCap,
+		sc.Flows, sc.PacketRate, sc.PayloadBytes,
+		sc.Warmup, sc.Measure,
+		sc.Gossip.P, sc.Gossip.K, sc.Counter.C,
+		sc.CLNLR.PBase, sc.CLNLR.PMin, sc.CLNLR.Gamma, sc.CLNLR.Beta,
+		sc.CLNLR.ReplyWindow, sc.CLNLR.HelloInterval)
+}
+
+// RunAll executes the whole suite.
+func RunAll(cfg Config) ([]Figure, error) {
+	var figs []Figure
+	r1, r2, err := FigR1R2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, r1, r2)
+	r3, r4, r7, err := FigR3R4R7(cfg)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, r3, r4, r7)
+	for _, fn := range []func(Config) (Figure, error){FigR5, FigR6, TabR2, FigR8, FigR9, FigR10} {
+		f, err := fn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}

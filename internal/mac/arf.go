@@ -1,0 +1,86 @@
+package mac
+
+import "clnlr/internal/pkt"
+
+// arfState tracks ARF link adaptation toward one neighbour.
+type arfState struct {
+	idx  int // index into Config.RateLadder
+	succ int // consecutive successes
+	fail int // consecutive failures
+}
+
+// arfFor returns (lazily creating) the adaptation state for a neighbour,
+// starting at the configured reference rate.
+func (m *Mac) arfFor(dst pkt.NodeID) *arfState {
+	if m.arf == nil {
+		m.arf = make(map[pkt.NodeID]*arfState)
+	}
+	st, ok := m.arf[dst]
+	if !ok {
+		st = &arfState{idx: m.referenceRateIdx()}
+		m.arf[dst] = st
+	}
+	return st
+}
+
+// referenceRateIdx locates the configured DataRateBps in the ladder (the
+// highest ladder entry not exceeding it).
+func (m *Mac) referenceRateIdx() int {
+	idx := 0
+	for i, r := range m.cfg.RateLadder {
+		if r <= m.cfg.DataRateBps {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// unicastRate returns the bit rate to use toward dst.
+func (m *Mac) unicastRate(dst pkt.NodeID) int64 {
+	if !m.cfg.AutoRate || len(m.cfg.RateLadder) == 0 {
+		return m.cfg.DataRateBps
+	}
+	return m.cfg.RateLadder[m.arfFor(dst).idx]
+}
+
+// CurrentRate exposes the rate ARF currently uses toward dst.
+func (m *Mac) CurrentRate(dst pkt.NodeID) int64 { return m.unicastRate(dst) }
+
+// snrScale converts a rate into the SINR requirement relative to the
+// reference rate; rates at or below the reference keep the calibrated
+// behaviour (scale 1).
+func (m *Mac) snrScale(rate int64) float64 {
+	s := float64(rate) / float64(m.cfg.DataRateBps)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// arfSuccess records an acknowledged unicast transmission.
+func (m *Mac) arfSuccess(dst pkt.NodeID) {
+	if !m.cfg.AutoRate || len(m.cfg.RateLadder) == 0 {
+		return
+	}
+	st := m.arfFor(dst)
+	st.fail = 0
+	st.succ++
+	if st.succ >= m.cfg.ArfSuccessUp && st.idx < len(m.cfg.RateLadder)-1 {
+		st.idx++
+		st.succ = 0
+	}
+}
+
+// arfFailure records a failed transmission attempt (ACK/CTS timeout).
+func (m *Mac) arfFailure(dst pkt.NodeID) {
+	if !m.cfg.AutoRate || len(m.cfg.RateLadder) == 0 {
+		return
+	}
+	st := m.arfFor(dst)
+	st.succ = 0
+	st.fail++
+	if st.fail >= m.cfg.ArfFailDown && st.idx > 0 {
+		st.idx--
+		st.fail = 0
+	}
+}

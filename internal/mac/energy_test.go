@@ -1,0 +1,91 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+	"clnlr/internal/pkt"
+)
+
+func TestEnergyIdleBaseline(t *testing.T) {
+	sim, macs, _ := macTestbed(t, DefaultConfig(), geom.Point{X: 0}, geom.Point{X: 200})
+	sim.RunUntil(10 * des.Second)
+	e := macs[0].Energy()
+	want := DefaultEnergyParams().IdleW * 10
+	if math.Abs(e.Joules-want) > 1e-9 {
+		t.Fatalf("idle node consumed %.4f J in 10 s, want %.4f", e.Joules, want)
+	}
+	if e.TxTime != 0 || e.RxTime != 0 {
+		t.Fatalf("idle node has tx=%v rx=%v", e.TxTime, e.RxTime)
+	}
+}
+
+func TestEnergyAccountsTransmission(t *testing.T) {
+	cfg := DefaultConfig()
+	sim, macs, _ := macTestbed(t, cfg, geom.Point{X: 0}, geom.Point{X: 200})
+	sim.Schedule(0, func() { macs[0].Send(dataPkt(0, 1, 512), 1) })
+	sim.RunUntil(des.Second)
+
+	sender := macs[0].Energy()
+	wantTx := cfg.TxDuration(512+pkt.IPHeaderBytes+pkt.UDPHeaderBytes+cfg.DataHeaderBytes,
+		cfg.DataRateBps)
+	if sender.TxTime != wantTx {
+		t.Fatalf("sender tx time %v, want %v", sender.TxTime, wantTx)
+	}
+	// The sender also received the ACK.
+	if sender.RxTime < cfg.AckDuration() {
+		t.Fatalf("sender rx time %v below one ACK airtime", sender.RxTime)
+	}
+	receiver := macs[1].Energy()
+	if receiver.TxTime != cfg.AckDuration() {
+		t.Fatalf("receiver tx time %v, want one ACK %v", receiver.TxTime, cfg.AckDuration())
+	}
+	if receiver.RxTime < wantTx {
+		t.Fatalf("receiver rx time %v below the data airtime %v", receiver.RxTime, wantTx)
+	}
+	// Total time must be conserved.
+	total := sender.IdleTime + sender.RxTime + sender.TxTime
+	if total != des.Second {
+		t.Fatalf("state times sum to %v, want 1 s", total)
+	}
+	// Energy ordering: the sender paid more than an idle second.
+	idleJ := DefaultEnergyParams().IdleW * 1
+	if sender.Joules <= idleJ {
+		t.Fatalf("sender energy %.4f J not above idle baseline %.4f", sender.Joules, idleJ)
+	}
+}
+
+func TestEnergyCustomProfile(t *testing.T) {
+	sim, macs, _ := macTestbed(t, DefaultConfig(), geom.Point{X: 0}, geom.Point{X: 200})
+	macs[0].SetEnergyParams(EnergyParams{TxW: 10, RxW: 5, IdleW: 1})
+	sim.RunUntil(des.Second)
+	e := macs[0].Energy()
+	if math.Abs(e.Joules-1) > 1e-9 {
+		t.Fatalf("custom idle profile: %.4f J, want 1", e.Joules)
+	}
+}
+
+func TestEnergyOverhearingCosts(t *testing.T) {
+	// A bystander in carrier range pays Rx power while others talk.
+	sim, macs, _ := macTestbed(t, DefaultConfig(),
+		geom.Point{X: 0}, geom.Point{X: 200}, geom.Point{X: 400})
+	sim.Schedule(0, func() {
+		for i := 0; i < 20; i++ {
+			macs[0].Send(dataPkt(0, 1, 1000), 1)
+		}
+	})
+	sim.RunUntil(des.Second)
+	bystander := macs[2].Energy()
+	if bystander.RxTime == 0 {
+		t.Fatal("bystander in carrier range recorded no rx time")
+	}
+	if bystander.TxTime != 0 {
+		t.Fatal("bystander transmitted")
+	}
+	idleOnly := DefaultEnergyParams().IdleW * 1
+	if bystander.Joules <= idleOnly {
+		t.Fatal("overhearing did not cost energy")
+	}
+}

@@ -1,0 +1,71 @@
+package mac
+
+import (
+	"fmt"
+
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+)
+
+// FrameType discriminates link-layer frames.
+type FrameType uint8
+
+const (
+	// DataFrame carries a network-layer packet (unicast or broadcast).
+	DataFrame FrameType = iota
+	// AckFrame is the link-layer acknowledgement for a unicast DataFrame.
+	AckFrame
+	// RTSFrame / CTSFrame implement the optional virtual-carrier-sense
+	// handshake; their Dur field announces the remaining exchange time so
+	// overhearers can set their NAV.
+	RTSFrame
+	CTSFrame
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case DataFrame:
+		return "data"
+	case AckFrame:
+		return "ack"
+	case RTSFrame:
+		return "rts"
+	case CTSFrame:
+		return "cts"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// Frame is the on-air unit. Frames travel through the radio medium as
+// opaque payloads; only MACs inspect them.
+type Frame struct {
+	Type FrameType
+	// Src and Dst are the per-hop MAC addresses (Dst == pkt.Broadcast for
+	// broadcast frames and is never pkt.Broadcast for AckFrames).
+	Src, Dst pkt.NodeID
+	// Seq is the sender's MAC sequence number, used by receivers to
+	// filter the duplicates created by retransmission. Retries of the
+	// same frame keep the same Seq.
+	Seq uint16
+	// Payload is the network packet (nil for control frames).
+	Payload *pkt.Packet
+	// Bytes is the total on-air size including MAC overhead.
+	Bytes int
+	// Dur is the NAV reservation announced by RTS/CTS frames: the time
+	// the medium stays reserved after this frame's airtime ends.
+	Dur des.Time
+}
+
+func (f *Frame) String() string {
+	switch f.Type {
+	case AckFrame:
+		return fmt.Sprintf("ACK{%v->%v}", f.Src, f.Dst)
+	case RTSFrame:
+		return fmt.Sprintf("RTS{%v->%v dur=%v}", f.Src, f.Dst, f.Dur)
+	case CTSFrame:
+		return fmt.Sprintf("CTS{%v->%v dur=%v}", f.Src, f.Dst, f.Dur)
+	default:
+		return fmt.Sprintf("FRAME{%v->%v seq=%d %v}", f.Src, f.Dst, f.Seq, f.Payload)
+	}
+}

@@ -1,0 +1,136 @@
+package mac
+
+import (
+	"clnlr/internal/des"
+	"clnlr/internal/stats"
+)
+
+// LoadStats is the cross-layer measurement the MAC exposes to the routing
+// layer — the information channel that gives CLNLR its name. All values
+// are smoothed (EWMA over LoadSampleInterval windows) and lie in [0,1].
+type LoadStats struct {
+	// QueueOcc is the smoothed interface-queue occupancy (time-averaged
+	// queue length divided by capacity).
+	QueueOcc float64
+	// BusyFrac is the smoothed fraction of time the channel was occupied
+	// (carrier busy or this node transmitting).
+	BusyFrac float64
+	// Load is the combined local-load figure
+	// QueueLoadWeight·QueueOcc + (1−QueueLoadWeight)·BusyFrac.
+	Load float64
+}
+
+// loadEstimator samples queue occupancy and channel busy time each window
+// and maintains their EWMAs.
+type loadEstimator struct {
+	cfg *Config
+	sim *des.Sim
+
+	queueTW stats.TimeWeighted // queue length, time-weighted within window
+	qCap    float64
+
+	occupied      bool
+	occupiedSince des.Time
+	busyAccum     des.Time
+	windowStart   des.Time
+
+	ewmaQueue float64
+	ewmaBusy  float64
+}
+
+func newLoadEstimator(cfg *Config, sim *des.Sim) *loadEstimator {
+	le := &loadEstimator{cfg: cfg, sim: sim, qCap: float64(cfg.QueueCap)}
+	le.queueTW.Reset(int64(sim.Now()), 0)
+	le.windowStart = sim.Now()
+	return le
+}
+
+// start begins periodic sampling (called once the node stack is wired).
+func (le *loadEstimator) start() {
+	des.NewTicker(le.sim, le.cfg.LoadSampleInterval, le.sample).Start(le.cfg.LoadSampleInterval)
+}
+
+// setQueueLen records an interface-queue length change.
+func (le *loadEstimator) setQueueLen(n int) {
+	le.queueTW.Set(int64(le.sim.Now()), float64(n))
+}
+
+// setOccupied records channel-occupancy transitions (carrier busy or own
+// transmission in progress).
+func (le *loadEstimator) setOccupied(b bool) {
+	now := le.sim.Now()
+	if b == le.occupied {
+		return
+	}
+	if le.occupied {
+		le.busyAccum += now - le.occupiedSince
+	} else {
+		le.occupiedSince = now
+	}
+	le.occupied = b
+}
+
+// sample closes the current window and folds it into the EWMAs.
+func (le *loadEstimator) sample() {
+	now := le.sim.Now()
+	window := now - le.windowStart
+	if window <= 0 {
+		return
+	}
+	busy := le.busyAccum
+	if le.occupied {
+		busy += now - le.occupiedSince
+		le.occupiedSince = now
+	}
+	busyFrac := float64(busy) / float64(window)
+	if busyFrac > 1 {
+		busyFrac = 1
+	}
+	qOcc := le.queueTW.Avg(int64(now)) / le.qCap
+	if qOcc > 1 {
+		qOcc = 1
+	}
+
+	a := le.cfg.LoadEWMAAlpha
+	le.ewmaBusy = a*busyFrac + (1-a)*le.ewmaBusy
+	le.ewmaQueue = a*qOcc + (1-a)*le.ewmaQueue
+
+	le.busyAccum = 0
+	le.windowStart = now
+	le.queueTW.Reset(int64(now), le.queueTW.Value())
+}
+
+// stats returns the current smoothed measurements.
+func (le *loadEstimator) stats() LoadStats {
+	w := le.cfg.QueueLoadWeight
+	return LoadStats{
+		QueueOcc: le.ewmaQueue,
+		BusyFrac: le.ewmaBusy,
+		Load:     w*le.ewmaQueue + (1-w)*le.ewmaBusy,
+	}
+}
+
+// Counters exposes the MAC's event counts for the measurement layer.
+type Counters struct {
+	// Enqueued / DroppedQueueFull count interface-queue admissions and
+	// drop-tail losses.
+	Enqueued         uint64
+	DroppedQueueFull uint64
+	// TxData / TxBroadcast / TxAck / TxRTS / TxCTS count transmission
+	// attempts by class (TxData counts every retry separately).
+	TxData      uint64
+	TxBroadcast uint64
+	TxAck       uint64
+	TxRTS       uint64
+	TxCTS       uint64
+	// Retries counts unicast retransmissions; DroppedRetryLimit counts
+	// frames abandoned after RetryLimit attempts.
+	Retries           uint64
+	DroppedRetryLimit uint64
+	// RxDelivered counts frames passed up; RxDuplicates counts unicast
+	// duplicates filtered; RxCorrupted counts frames that arrived
+	// damaged by collision.
+	RxDelivered  uint64
+	RxDuplicates uint64
+	RxCorrupted  uint64
+}

@@ -1,0 +1,550 @@
+// Package mac implements an IEEE 802.11-style DCF (CSMA/CA) medium access
+// layer: carrier sensing with DIFS/EIFS deferral, slotted binary
+// exponential backoff, positive acknowledgement with retransmission for
+// unicast frames, drop-tail interface queueing, and duplicate filtering.
+//
+// It also hosts the cross-layer load estimator (load.go): smoothed queue
+// occupancy and channel busy fraction, which the CLNLR routing layer reads
+// through LoadStats — the "cross layer" of the paper's title.
+package mac
+
+import (
+	"fmt"
+
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+	"clnlr/internal/radio"
+	"clnlr/internal/rng"
+)
+
+// Upper is the interface the network layer exposes to its MAC. Callbacks
+// run on the simulation goroutine.
+type Upper interface {
+	// MacReceive delivers a packet that arrived intact and passed
+	// duplicate filtering. from is the transmitting neighbour.
+	MacReceive(p *pkt.Packet, from pkt.NodeID)
+	// MacTxDone reports the fate of a previously submitted packet:
+	// ok=true when the broadcast finished or the unicast was acknowledged,
+	// ok=false when the retry limit was exhausted (the routing layer
+	// treats that as a broken link).
+	MacTxDone(p *pkt.Packet, dst pkt.NodeID, ok bool)
+}
+
+// accessState enumerates the DCF channel-access phases.
+type accessState uint8
+
+const (
+	accIdle      accessState = iota // no frame contending
+	accWaitIdle                     // frame pending, carrier/NAV busy
+	accDefer                        // DIFS/EIFS in progress
+	accBackoff                      // backoff countdown in progress
+	accTx                           // our data frame on the air
+	accWaitAck                      // data sent, awaiting ACK
+	accPostponed                    // paused while our own ACK/CTS occupies the radio
+	accTxRts                        // our RTS on the air
+	accWaitCts                      // RTS sent, awaiting CTS
+	accTxData                       // CTS received, data follows after SIFS
+)
+
+// outgoing is the frame currently contending for the channel.
+type outgoing struct {
+	frame   *Frame
+	retries int
+}
+
+// Mac is one node's medium-access entity.
+type Mac struct {
+	cfg   Config
+	sim   *des.Sim
+	radio *radio.Radio
+	src   *rng.Source
+	upper Upper
+	id    pkt.NodeID
+
+	queue []*Frame
+	cur   *outgoing
+	state accessState
+
+	cw           int
+	backoffSlots int
+	backoffStart des.Time
+	backoffEv    *des.Event
+	deferEv      *des.Event
+	ackEv        *des.Event
+	ctsEv        *des.Event
+
+	carrierBusy  bool
+	useEIFS      bool
+	pendingAckTx bool
+
+	// navUntil is the virtual-carrier-sense reservation learned from
+	// overheard RTS/CTS frames; the channel counts as busy until then.
+	navUntil des.Time
+	navEv    *des.Event
+
+	seq     uint16
+	lastSeq map[pkt.NodeID]int32
+	arf     map[pkt.NodeID]*arfState
+
+	le     *loadEstimator
+	energy energyMeter
+
+	// Ctr exposes event counts to the measurement layer.
+	Ctr Counters
+}
+
+// New creates a MAC bound to the given radio. id must be the node's
+// network identity; src a private random stream for backoff draws.
+func New(cfg Config, sim *des.Sim, r *radio.Radio, id pkt.NodeID, src *rng.Source) *Mac {
+	m := &Mac{
+		cfg:     cfg,
+		sim:     sim,
+		radio:   r,
+		src:     src,
+		id:      id,
+		cw:      cfg.CWMin,
+		lastSeq: make(map[pkt.NodeID]int32),
+		le:      newLoadEstimator(&cfg, sim),
+		energy:  energyMeter{params: DefaultEnergyParams()},
+	}
+	r.SetListener(m)
+	return m
+}
+
+// SetUpper installs the network layer (two-phase: the routing agent needs
+// the MAC reference too).
+func (m *Mac) SetUpper(u Upper) { m.upper = u }
+
+// Start launches the periodic load estimator.
+func (m *Mac) Start() { m.le.start() }
+
+// ID returns the MAC's node identity.
+func (m *Mac) ID() pkt.NodeID { return m.id }
+
+// LoadStats returns the cross-layer load measurements.
+func (m *Mac) LoadStats() LoadStats { return m.le.stats() }
+
+// QueueLen returns the current interface-queue length (incl. the frame in
+// service).
+func (m *Mac) QueueLen() int {
+	n := len(m.queue)
+	if m.cur != nil {
+		n++
+	}
+	return n
+}
+
+// Send submits a packet for transmission to nextHop (pkt.Broadcast for
+// link-layer broadcast). The packet joins the drop-tail interface queue;
+// drops are counted, not reported.
+func (m *Mac) Send(p *pkt.Packet, nextHop pkt.NodeID) {
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.Ctr.DroppedQueueFull++
+		return
+	}
+	f := &Frame{
+		Type:    DataFrame,
+		Src:     m.id,
+		Dst:     nextHop,
+		Payload: p,
+		Bytes:   m.cfg.DataHeaderBytes + p.Bytes,
+	}
+	if nextHop != pkt.Broadcast {
+		m.seq++
+		f.Seq = m.seq
+	}
+	if m.cfg.ControlPriority && p.Kind.IsControl() {
+		// Insert behind any queued control packets but ahead of data.
+		pos := 0
+		for pos < len(m.queue) && m.queue[pos].Payload.Kind.IsControl() {
+			pos++
+		}
+		m.queue = append(m.queue, nil)
+		copy(m.queue[pos+1:], m.queue[pos:])
+		m.queue[pos] = f
+	} else {
+		m.queue = append(m.queue, f)
+	}
+	m.Ctr.Enqueued++
+	m.le.setQueueLen(m.QueueLen())
+	m.next()
+}
+
+// next promotes the head of the queue to the contention slot.
+func (m *Mac) next() {
+	if m.cur != nil || len(m.queue) == 0 {
+		return
+	}
+	f := m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue[len(m.queue)-1] = nil
+	m.queue = m.queue[:len(m.queue)-1]
+	m.cur = &outgoing{frame: f}
+	m.cw = m.cfg.CWMin
+	m.drawBackoff()
+	m.startAccess()
+}
+
+func (m *Mac) drawBackoff() {
+	m.backoffSlots = m.src.Intn(m.cw + 1)
+}
+
+// channelBusy combines physical carrier sense with the NAV reservation.
+func (m *Mac) channelBusy() bool {
+	return m.carrierBusy || m.sim.Now() < m.navUntil
+}
+
+// setNAV extends the virtual-carrier reservation to now+dur and arranges
+// to resume channel access when it lapses.
+func (m *Mac) setNAV(dur des.Time) {
+	until := m.sim.Now() + dur
+	if until <= m.navUntil {
+		return
+	}
+	wasBusy := m.channelBusy()
+	m.navUntil = until
+	if m.navEv != nil {
+		m.navEv.Cancel()
+	}
+	m.navEv = m.sim.Schedule(dur, m.onNavExpire)
+	if !wasBusy {
+		// NAV newly blocks the channel: freeze contention exactly as a
+		// physical-carrier busy transition would.
+		m.freezeContention()
+	}
+}
+
+func (m *Mac) onNavExpire() {
+	if m.channelBusy() {
+		return // physical carrier still busy; its idle event resumes us
+	}
+	if m.state == accWaitIdle {
+		m.beginDefer()
+	}
+}
+
+// freezeContention suspends an in-progress defer or backoff.
+func (m *Mac) freezeContention() {
+	switch m.state {
+	case accDefer:
+		m.deferEv.Cancel()
+		m.state = accWaitIdle
+	case accBackoff:
+		m.backoffEv.Cancel()
+		elapsed := int((m.sim.Now() - m.backoffStart) / m.cfg.SlotTime)
+		m.backoffSlots -= elapsed
+		if m.backoffSlots < 0 {
+			m.backoffSlots = 0
+		}
+		m.state = accWaitIdle
+	}
+}
+
+// startAccess (re)enters the channel-access sequence for m.cur.
+func (m *Mac) startAccess() {
+	if m.pendingAckTx || m.radio.Transmitting() {
+		m.state = accPostponed
+		return
+	}
+	if m.channelBusy() {
+		m.state = accWaitIdle
+		return
+	}
+	m.beginDefer()
+}
+
+func (m *Mac) beginDefer() {
+	m.state = accDefer
+	d := m.cfg.DIFS()
+	if m.useEIFS {
+		d = m.cfg.EIFS()
+	}
+	m.deferEv = m.sim.Schedule(d, m.onDeferDone)
+}
+
+func (m *Mac) onDeferDone() {
+	m.useEIFS = false
+	m.state = accBackoff
+	m.backoffStart = m.sim.Now()
+	m.backoffEv = m.sim.Schedule(des.Time(m.backoffSlots)*m.cfg.SlotTime, m.onBackoffDone)
+}
+
+func (m *Mac) onBackoffDone() {
+	m.backoffSlots = 0
+	m.transmitCur()
+}
+
+func (m *Mac) transmitCur() {
+	if m.pendingAckTx || m.radio.Transmitting() {
+		m.state = accPostponed
+		return
+	}
+	f := m.cur.frame
+	if f.Dst != pkt.Broadcast && m.cfg.usesRTS(f.Bytes) {
+		m.transmitRTS()
+		return
+	}
+	m.state = accTx
+	m.le.setOccupied(true)
+	var dur des.Time
+	if f.Dst == pkt.Broadcast {
+		m.Ctr.TxBroadcast++
+		dur = m.cfg.TxDuration(f.Bytes, m.cfg.BasicRateBps)
+		m.radio.Transmit(f, f.Bytes, dur)
+		m.noteRadioState()
+		return
+	}
+	m.Ctr.TxData++
+	rate := m.unicastRate(f.Dst)
+	dur = m.cfg.TxDuration(f.Bytes, rate)
+	m.radio.TransmitRated(f, f.Bytes, dur, m.snrScale(rate))
+	m.noteRadioState()
+}
+
+// transmitRTS opens the virtual-carrier handshake for the frame in
+// service.
+func (m *Mac) transmitRTS() {
+	f := m.cur.frame
+	dataDur := m.cfg.TxDuration(f.Bytes, m.unicastRate(f.Dst))
+	// NAV announced by the RTS: the rest of the exchange after its airtime.
+	nav := m.cfg.SIFS + m.cfg.CTSDuration() + m.cfg.SIFS + dataDur +
+		m.cfg.SIFS + m.cfg.AckDuration()
+	rts := &Frame{Type: RTSFrame, Src: m.id, Dst: f.Dst, Bytes: m.cfg.RTSBytes, Dur: nav}
+	m.state = accTxRts
+	m.le.setOccupied(true)
+	m.Ctr.TxRTS++
+	m.radio.Transmit(rts, rts.Bytes, m.cfg.RTSDuration())
+	m.noteRadioState()
+}
+
+// sendCurData fires SIFS after the CTS: the protected data transmission.
+func (m *Mac) sendCurData() {
+	if m.cur == nil || m.state != accTxData {
+		return
+	}
+	if m.radio.Transmitting() {
+		// Should be impossible inside the reservation; recover via the
+		// normal retry machinery rather than crashing.
+		m.onAckTimeout()
+		return
+	}
+	f := m.cur.frame
+	m.Ctr.TxData++
+	m.le.setOccupied(true)
+	rate := m.unicastRate(f.Dst)
+	m.radio.TransmitRated(f, f.Bytes, m.cfg.TxDuration(f.Bytes, rate), m.snrScale(rate))
+	m.noteRadioState()
+}
+
+// finishCur concludes the frame in service and reports its fate upward.
+func (m *Mac) finishCur(ok bool) {
+	f := m.cur.frame
+	m.cur = nil
+	m.cw = m.cfg.CWMin
+	m.state = accIdle
+	m.le.setQueueLen(m.QueueLen())
+	if m.upper != nil {
+		m.upper.MacTxDone(f.Payload, f.Dst, ok)
+	}
+	m.next()
+}
+
+func (m *Mac) onAckTimeout() {
+	m.arfFailure(m.cur.frame.Dst)
+	m.cur.retries++
+	m.Ctr.Retries++
+	if m.cur.retries >= m.cfg.RetryLimit {
+		m.Ctr.DroppedRetryLimit++
+		m.finishCur(false)
+		return
+	}
+	// Binary exponential backoff: widen the window and contend again.
+	m.cw = 2*m.cw + 1
+	if m.cw > m.cfg.CWMax {
+		m.cw = m.cfg.CWMax
+	}
+	m.drawBackoff()
+	m.startAccess()
+}
+
+// scheduleAck queues the SIFS-delayed acknowledgement for a received
+// unicast frame. ACKs bypass the interface queue and channel contention.
+func (m *Mac) scheduleAck(dst pkt.NodeID) {
+	m.pendingAckTx = true
+	// If we were mid-contention, the countdown events may fire during the
+	// ACK transmission; transmitCur's guard postpones them safely.
+	m.sim.Schedule(m.cfg.SIFS, func() { m.sendAck(dst) })
+}
+
+func (m *Mac) sendAck(dst pkt.NodeID) {
+	if m.radio.Transmitting() {
+		// Cannot happen under half-duplex rules, but never crash the run —
+		// drop the ACK (the sender will retry) and resume contention.
+		m.pendingAckTx = false
+		if m.cur != nil && m.state == accPostponed {
+			m.startAccess()
+		}
+		return
+	}
+	ack := &Frame{Type: AckFrame, Src: m.id, Dst: dst, Bytes: m.cfg.AckBytes}
+	m.Ctr.TxAck++
+	m.le.setOccupied(true)
+	m.radio.Transmit(ack, ack.Bytes, m.cfg.AckDuration())
+	m.noteRadioState()
+}
+
+// isDup reports (and records) whether a unicast frame repeats the last
+// sequence number seen from src — the signature of a retransmission whose
+// ACK was lost.
+func (m *Mac) isDup(src pkt.NodeID, seq uint16) bool {
+	last, ok := m.lastSeq[src]
+	if ok && last == int32(seq) {
+		return true
+	}
+	m.lastSeq[src] = int32(seq)
+	return false
+}
+
+// --- radio.Listener ---
+
+// RadioCarrier implements radio.Listener.
+func (m *Mac) RadioCarrier(busy bool) {
+	m.carrierBusy = busy
+	m.le.setOccupied(busy || m.radio.Transmitting())
+	m.noteRadioState()
+	if busy {
+		m.freezeContention()
+		return
+	}
+	if m.state == accWaitIdle && !m.channelBusy() {
+		m.beginDefer()
+	}
+}
+
+// RadioTxDone implements radio.Listener.
+func (m *Mac) RadioTxDone(payload any) {
+	f, ok := payload.(*Frame)
+	if !ok {
+		panic(fmt.Sprintf("mac %v: foreign payload %T on radio", m.id, payload))
+	}
+	m.le.setOccupied(m.carrierBusy)
+	m.noteRadioState()
+	switch f.Type {
+	case AckFrame, CTSFrame:
+		// Our control response is done; resume any postponed contention.
+		m.pendingAckTx = false
+		if m.cur != nil && m.state == accPostponed {
+			m.startAccess()
+		}
+		return
+	case RTSFrame:
+		m.state = accWaitCts
+		m.ctsEv = m.sim.Schedule(m.cfg.CTSTimeout(), m.onCtsTimeout)
+		return
+	}
+	if f.Dst == pkt.Broadcast {
+		m.finishCur(true)
+		return
+	}
+	m.state = accWaitAck
+	m.ackEv = m.sim.Schedule(m.cfg.AckTimeout(), m.onAckTimeout)
+}
+
+// onCtsTimeout mirrors onAckTimeout for a failed RTS handshake.
+func (m *Mac) onCtsTimeout() {
+	m.arfFailure(m.cur.frame.Dst)
+	m.cur.retries++
+	m.Ctr.Retries++
+	if m.cur.retries >= m.cfg.RetryLimit {
+		m.Ctr.DroppedRetryLimit++
+		m.finishCur(false)
+		return
+	}
+	m.cw = 2*m.cw + 1
+	if m.cw > m.cfg.CWMax {
+		m.cw = m.cfg.CWMax
+	}
+	m.drawBackoff()
+	m.startAccess()
+}
+
+// sendCts answers an RTS after SIFS.
+func (m *Mac) sendCts(dst pkt.NodeID, nav des.Time) {
+	if m.radio.Transmitting() {
+		m.pendingAckTx = false
+		if m.cur != nil && m.state == accPostponed {
+			m.startAccess()
+		}
+		return
+	}
+	cts := &Frame{Type: CTSFrame, Src: m.id, Dst: dst, Bytes: m.cfg.CTSBytes, Dur: nav}
+	m.Ctr.TxCTS++
+	m.le.setOccupied(true)
+	m.radio.Transmit(cts, cts.Bytes, m.cfg.CTSDuration())
+	m.noteRadioState()
+}
+
+// RadioReceive implements radio.Listener.
+func (m *Mac) RadioReceive(payload any, bytes int, ok bool) {
+	if !ok {
+		m.Ctr.RxCorrupted++
+		m.useEIFS = true
+		return
+	}
+	f := payload.(*Frame)
+	switch f.Type {
+	case AckFrame:
+		if f.Dst == m.id && m.state == accWaitAck && m.cur != nil && f.Src == m.cur.frame.Dst {
+			m.ackEv.Cancel()
+			m.arfSuccess(f.Src)
+			m.finishCur(true)
+		}
+	case RTSFrame:
+		if f.Dst != m.id {
+			m.setNAV(f.Dur)
+			return
+		}
+		// Answer unless our NAV says the medium is reserved for someone
+		// else's exchange (802.11 §9.2.5.7). The physical carrier flag is
+		// not consulted: at this instant it still reflects the RTS frame
+		// itself, whose airtime just ended.
+		if m.radio.Transmitting() || m.sim.Now() < m.navUntil {
+			return
+		}
+		m.pendingAckTx = true
+		nav := f.Dur - m.cfg.SIFS - m.cfg.CTSDuration()
+		src := f.Src
+		m.sim.Schedule(m.cfg.SIFS, func() { m.sendCts(src, nav) })
+	case CTSFrame:
+		if f.Dst != m.id {
+			m.setNAV(f.Dur)
+			return
+		}
+		if m.state == accWaitCts && m.cur != nil && f.Src == m.cur.frame.Dst {
+			m.ctsEv.Cancel()
+			m.state = accTxData
+			m.sim.Schedule(m.cfg.SIFS, m.sendCurData)
+		}
+	case DataFrame:
+		switch f.Dst {
+		case pkt.Broadcast:
+			m.Ctr.RxDelivered++
+			if m.upper != nil {
+				m.upper.MacReceive(f.Payload.Clone(), f.Src)
+			}
+		case m.id:
+			m.scheduleAck(f.Src)
+			if m.isDup(f.Src, f.Seq) {
+				m.Ctr.RxDuplicates++
+				return
+			}
+			m.Ctr.RxDelivered++
+			if m.upper != nil {
+				m.upper.MacReceive(f.Payload.Clone(), f.Src)
+			}
+		default:
+			// Overheard unicast for someone else: ignored (no
+			// promiscuous mode in this model).
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package mobility moves nodes during a simulation. The primary model is
+// random waypoint (RWP), the standard model of the MANET/WMN literature:
+// each node repeatedly picks a uniform destination in the region and a
+// uniform speed, travels there in a straight line, pauses, and repeats.
+//
+// Positions advance in discrete steps of the configured interval; the
+// radio layer reads positions per transmission, so the approximation
+// error is bounded by speed × interval (centimetres at vehicular speeds
+// with the default 100 ms step).
+package mobility
+
+import (
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+	"clnlr/internal/rng"
+)
+
+// SetPos is the callback through which the model moves one node (wired to
+// radio.Radio.SetPos by the harness).
+type SetPos func(geom.Point)
+
+// Config parameterises a random-waypoint model.
+type Config struct {
+	// MinSpeedMps and MaxSpeedMps bound the per-leg uniform speed draw.
+	// MinSpeedMps > 0 avoids RWP's well-known speed-decay pathology.
+	MinSpeedMps, MaxSpeedMps float64
+	// Pause is the dwell time at each waypoint.
+	Pause des.Time
+	// Interval is the position-update step.
+	Interval des.Time
+}
+
+// DefaultConfig returns a moderate pedestrian-to-vehicular RWP setup.
+func DefaultConfig(maxSpeed float64) Config {
+	minSpeed := maxSpeed / 10
+	if minSpeed < 0.1 {
+		minSpeed = 0.1
+	}
+	return Config{
+		MinSpeedMps: minSpeed,
+		MaxSpeedMps: maxSpeed,
+		Pause:       2 * des.Second,
+		Interval:    100 * des.Millisecond,
+	}
+}
+
+// legState is one node's current movement leg.
+type legState struct {
+	pos        geom.Point
+	target     geom.Point
+	speed      float64 // m/s
+	pausedTill des.Time
+	set        SetPos
+	src        *rng.Source
+}
+
+// Waypoint is a random-waypoint mobility model driving any number of
+// nodes inside one region.
+type Waypoint struct {
+	sim    *des.Sim
+	region geom.Rect
+	cfg    Config
+	nodes  []*legState
+	ticker *des.Ticker
+}
+
+// NewWaypoint creates a model for the given region. Nodes are added with
+// Track before Start.
+func NewWaypoint(sim *des.Sim, region geom.Rect, cfg Config) *Waypoint {
+	if cfg.MaxSpeedMps <= 0 || cfg.MinSpeedMps <= 0 || cfg.MinSpeedMps > cfg.MaxSpeedMps {
+		panic("mobility: invalid speed range")
+	}
+	if cfg.Interval <= 0 {
+		panic("mobility: non-positive update interval")
+	}
+	return &Waypoint{sim: sim, region: region, cfg: cfg}
+}
+
+// Track registers one node starting at initial; the model will call set
+// with each new position. src must be a node-private random stream.
+func (w *Waypoint) Track(initial geom.Point, set SetPos, src *rng.Source) {
+	ls := &legState{pos: initial, set: set, src: src}
+	w.newLeg(ls)
+	w.nodes = append(w.nodes, ls)
+}
+
+// newLeg draws the next waypoint and speed for a node.
+func (w *Waypoint) newLeg(ls *legState) {
+	ls.target = geom.Point{
+		X: ls.src.Uniform(w.region.Min.X, w.region.Max.X),
+		Y: ls.src.Uniform(w.region.Min.Y, w.region.Max.Y),
+	}
+	ls.speed = ls.src.Uniform(w.cfg.MinSpeedMps, w.cfg.MaxSpeedMps)
+}
+
+// Start begins periodic position updates.
+func (w *Waypoint) Start() {
+	w.ticker = des.NewTicker(w.sim, w.cfg.Interval, w.step)
+	w.ticker.Start(w.cfg.Interval)
+}
+
+// Stop halts position updates.
+func (w *Waypoint) Stop() {
+	if w.ticker != nil {
+		w.ticker.Stop()
+	}
+}
+
+// step advances every tracked node by one interval.
+func (w *Waypoint) step() {
+	now := w.sim.Now()
+	dt := w.cfg.Interval.Seconds()
+	for _, ls := range w.nodes {
+		if now < ls.pausedTill {
+			continue
+		}
+		remaining := ls.pos.Dist(ls.target)
+		stride := ls.speed * dt
+		if stride >= remaining {
+			// Arrive, pause, and plan the next leg.
+			ls.pos = ls.target
+			ls.pausedTill = now + w.cfg.Pause
+			w.newLeg(ls)
+		} else {
+			f := stride / remaining
+			ls.pos = geom.Point{
+				X: ls.pos.X + (ls.target.X-ls.pos.X)*f,
+				Y: ls.pos.Y + (ls.target.Y-ls.pos.Y)*f,
+			}
+		}
+		ls.set(ls.pos)
+	}
+}

@@ -1,0 +1,76 @@
+// Package node wires the per-router protocol stack together: radio ↔ MAC ↔
+// routing agent ↔ application hooks. It is the composition layer the
+// simulation harness and the examples build networks with.
+package node
+
+import (
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+	"clnlr/internal/mac"
+	"clnlr/internal/pkt"
+	"clnlr/internal/radio"
+	"clnlr/internal/rng"
+	"clnlr/internal/routing"
+)
+
+// Node is one mesh router's full stack.
+type Node struct {
+	ID    pkt.NodeID
+	Pos   geom.Point
+	Radio *radio.Radio
+	Mac   *mac.Mac
+	Agent *routing.Core
+}
+
+// SetDeliver installs the application sink for data packets addressed to
+// this node.
+func (n *Node) SetDeliver(f func(p *pkt.Packet, from pkt.NodeID)) {
+	n.Agent.Env.Deliver = f
+}
+
+// AgentFactory builds a routing agent for one node (schemes provide
+// closures over their parameters).
+type AgentFactory func(env routing.Env) *routing.Core
+
+// BuildNetwork attaches one full stack per position to the medium. The
+// master RNG seeds independent per-node streams for the MAC (backoff) and
+// the routing agent (jitter, probabilistic forwarding), so runs are
+// reproducible.
+func BuildNetwork(
+	sim *des.Sim,
+	medium *radio.Medium,
+	positions []geom.Point,
+	radioParams radio.Params,
+	macCfg mac.Config,
+	master *rng.Source,
+	factory AgentFactory,
+) []*Node {
+	nodes := make([]*Node, len(positions))
+	for i, pos := range positions {
+		id := pkt.NodeID(i)
+		r := medium.Attach(pos, radioParams)
+		m := mac.New(macCfg, sim, r, id, master.Derive(uint64(i), 1))
+		env := routing.Env{
+			Sim: sim,
+			Mac: m,
+			ID:  id,
+			Rng: master.Derive(uint64(i), 2),
+		}
+		nodes[i] = &Node{
+			ID:    id,
+			Pos:   pos,
+			Radio: r,
+			Mac:   m,
+			Agent: factory(env),
+		}
+	}
+	return nodes
+}
+
+// StartAll starts every node's periodic machinery (load estimators, HELLO
+// beacons). Call once before running the simulation.
+func StartAll(nodes []*Node) {
+	for _, n := range nodes {
+		n.Agent.Start()
+	}
+}

@@ -1,0 +1,97 @@
+package node
+
+import (
+	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+	"clnlr/internal/mac"
+	"clnlr/internal/pkt"
+	"clnlr/internal/radio"
+	"clnlr/internal/rng"
+	"clnlr/internal/routing"
+	"clnlr/internal/routing/aodv"
+)
+
+func build(seed uint64, n int) (*des.Sim, []*Node) {
+	simk := des.NewSim()
+	medium := radio.NewMedium(simk, radio.NewTwoRay(914e6, 1.5, 1.5))
+	nodes := BuildNetwork(simk, medium,
+		geom.ChainPlacement(geom.Point{}, n, 200),
+		radio.DefaultParams(), mac.DefaultConfig(), rng.New(seed),
+		func(env routing.Env) *routing.Core { return aodv.New(env) })
+	return simk, nodes
+}
+
+func TestBuildNetworkWiring(t *testing.T) {
+	_, nodes := build(1, 4)
+	if len(nodes) != 4 {
+		t.Fatalf("built %d nodes", len(nodes))
+	}
+	for i, n := range nodes {
+		if n.ID != pkt.NodeID(i) {
+			t.Fatalf("node %d has ID %v", i, n.ID)
+		}
+		if n.Mac.ID() != n.ID {
+			t.Fatalf("MAC identity mismatch at %d", i)
+		}
+		if n.Radio.ID() != i {
+			t.Fatalf("radio index mismatch at %d", i)
+		}
+		if n.Agent == nil || n.Agent.Env.ID != n.ID {
+			t.Fatalf("agent wiring broken at %d", i)
+		}
+		if n.Pos != (geom.Point{X: float64(i) * 200}) {
+			t.Fatalf("position mismatch at %d: %v", i, n.Pos)
+		}
+	}
+	// Per-node RNG streams must be distinct.
+	a := nodes[0].Agent.Env.Rng.Uint64()
+	b := nodes[1].Agent.Env.Rng.Uint64()
+	if a == b {
+		t.Fatal("adjacent nodes share a random stream")
+	}
+}
+
+func TestSetDeliver(t *testing.T) {
+	simk, nodes := build(2, 2)
+	StartAll(nodes)
+	var got *pkt.Packet
+	nodes[1].SetDeliver(func(p *pkt.Packet, from pkt.NodeID) { got = p })
+	simk.Schedule(des.Second, func() {
+		nodes[0].Agent.Send(pkt.NewData(0, 1, 100, 0, 0, simk.Now(), 30))
+	})
+	simk.RunUntil(5 * des.Second)
+	if got == nil {
+		t.Fatal("deliver hook never fired")
+	}
+	if got.Src != 0 || got.Dst != 1 {
+		t.Fatalf("delivered packet %+v", got)
+	}
+}
+
+func TestStartAllLaunchesPeriodicWork(t *testing.T) {
+	simk, nodes := build(3, 2)
+	StartAll(nodes)
+	// The MAC load estimator ticks every 100 ms once started.
+	before := simk.Executed()
+	simk.RunUntil(des.Second)
+	if simk.Executed() == before {
+		t.Fatal("StartAll scheduled no periodic work")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	run := func() uint64 {
+		simk, nodes := build(7, 3)
+		StartAll(nodes)
+		simk.Schedule(des.Second, func() {
+			nodes[0].Agent.Send(pkt.NewData(0, 2, 256, 0, 0, simk.Now(), 30))
+		})
+		simk.RunUntil(10 * des.Second)
+		return nodes[2].Agent.Ctr.DataDelivered + nodes[1].Agent.Ctr.RREQForwarded*100
+	}
+	if run() != run() {
+		t.Fatal("identical builds diverged")
+	}
+}

@@ -1,0 +1,218 @@
+package pkt
+
+// Wire codec: a compact, versioned binary encoding of Packet. The
+// simulator itself passes packets as pointers; the codec exists for the
+// artefacts around it — persisting packet traces, replaying captured
+// control traffic into tests, and as the serialisation a real CLNLR
+// implementation would put on the wire.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"clnlr/internal/des"
+)
+
+// codecVersion guards against decoding artefacts from incompatible
+// revisions of the format.
+const codecVersion = 1
+
+// ErrTruncated reports input shorter than its declared contents.
+var ErrTruncated = errors.New("pkt: truncated encoding")
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i32(v int32)  { e.u32(uint32(v)) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = ErrTruncated
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+func (d *decoder) i32() int32    { return int32(d.u32()) }
+func (d *decoder) i64() int64    { return int64(d.u64()) }
+func (d *decoder) f64() float64  { return math.Float64frombits(d.u64()) }
+func (d *decoder) boolean() bool { return d.u8() != 0 }
+
+// Marshal encodes the packet.
+func (p *Packet) Marshal() []byte {
+	var e encoder
+	e.u8(codecVersion)
+	e.u8(uint8(p.Kind))
+	e.u64(p.UID)
+	e.i32(int32(p.Src))
+	e.i32(int32(p.Dst))
+	e.i32(int32(p.TTL))
+	e.i32(int32(p.Bytes))
+	e.i64(int64(p.CreatedAt))
+	e.i32(int32(p.FlowID))
+	e.i32(int32(p.Seq))
+
+	switch p.Kind {
+	case RREQ:
+		b := p.RREQ
+		e.u32(b.ID)
+		e.i32(int32(b.Origin))
+		e.u32(b.OriginSeq)
+		e.i32(int32(b.Target))
+		e.u32(b.TargetSeq)
+		e.bool(b.TargetSeqKnown)
+		e.i32(int32(b.HopCount))
+		e.f64(b.Cost)
+		e.u8(b.Attempt)
+	case RREP:
+		b := p.RREP
+		e.i32(int32(b.Origin))
+		e.i32(int32(b.Target))
+		e.u32(b.TargetSeq)
+		e.i32(int32(b.HopCount))
+		e.f64(b.Cost)
+		e.i64(int64(b.Lifetime))
+	case RERR:
+		e.u16(uint16(len(p.RERR.Unreachable)))
+		for _, u := range p.RERR.Unreachable {
+			e.i32(int32(u.Node))
+			e.u32(u.Seq)
+		}
+	case Hello:
+		e.f64(p.Hello.Load)
+		e.u16(uint16(len(p.Hello.NbrLoads)))
+		for _, nl := range p.Hello.NbrLoads {
+			e.i32(int32(nl.ID))
+			e.f64(nl.Load)
+		}
+	}
+	return e.buf
+}
+
+// Unmarshal decodes a packet previously produced by Marshal.
+func Unmarshal(data []byte) (*Packet, error) {
+	d := decoder{buf: data}
+	if v := d.u8(); d.err == nil && v != codecVersion {
+		return nil, fmt.Errorf("pkt: unsupported codec version %d", v)
+	}
+	kind := Kind(d.u8())
+	p := &Packet{
+		Kind:      kind,
+		UID:       d.u64(),
+		Src:       NodeID(d.i32()),
+		Dst:       NodeID(d.i32()),
+		TTL:       int(d.i32()),
+		Bytes:     int(d.i32()),
+		CreatedAt: des.Time(d.i64()),
+		FlowID:    int(d.i32()),
+		Seq:       int(d.i32()),
+	}
+	switch kind {
+	case Data:
+		// no body
+	case RREQ:
+		p.RREQ = &RREQBody{
+			ID:             d.u32(),
+			Origin:         NodeID(d.i32()),
+			OriginSeq:      d.u32(),
+			Target:         NodeID(d.i32()),
+			TargetSeq:      d.u32(),
+			TargetSeqKnown: d.boolean(),
+			HopCount:       int(d.i32()),
+			Cost:           d.f64(),
+			Attempt:        d.u8(),
+		}
+	case RREP:
+		p.RREP = &RREPBody{
+			Origin:    NodeID(d.i32()),
+			Target:    NodeID(d.i32()),
+			TargetSeq: d.u32(),
+			HopCount:  int(d.i32()),
+			Cost:      d.f64(),
+			Lifetime:  des.Time(d.i64()),
+		}
+	case RERR:
+		n := int(d.u16())
+		body := &RERRBody{}
+		for i := 0; i < n && d.err == nil; i++ {
+			body.Unreachable = append(body.Unreachable, UnreachableDest{
+				Node: NodeID(d.i32()),
+				Seq:  d.u32(),
+			})
+		}
+		p.RERR = body
+	case Hello:
+		body := &HelloBody{Load: d.f64()}
+		n := int(d.u16())
+		for i := 0; i < n && d.err == nil; i++ {
+			body.NbrLoads = append(body.NbrLoads, NeighborLoad{
+				ID:   NodeID(d.i32()),
+				Load: d.f64(),
+			})
+		}
+		p.Hello = body
+	default:
+		return nil, fmt.Errorf("pkt: unknown kind %d", uint8(kind))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("pkt: %d trailing bytes", len(d.buf))
+	}
+	return p, nil
+}

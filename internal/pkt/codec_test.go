@@ -1,0 +1,143 @@
+package pkt
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"clnlr/internal/des"
+)
+
+func roundTrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	data := p.Marshal()
+	q, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal %v: %v", p, err)
+	}
+	return q
+}
+
+func TestCodecRoundTripAllKinds(t *testing.T) {
+	packets := []*Packet{
+		NewData(1, 2, 512, 3, 7, 5*des.Second, 30),
+		NewRREQ(RREQBody{
+			ID: 9, Origin: 1, OriginSeq: 11, Target: 5, TargetSeq: 3,
+			TargetSeqKnown: true, HopCount: 4, Cost: 6.25, Attempt: 2,
+		}, des.Second, 20),
+		NewRREP(4, RREPBody{
+			Origin: 1, Target: 5, TargetSeq: 12, HopCount: 3, Cost: 4.5,
+			Lifetime: 5 * des.Second,
+		}, 2*des.Second, 18),
+		NewRERR(3, []UnreachableDest{{Node: 7, Seq: 2}, {Node: 9, Seq: 5}}, des.Second),
+		NewHello(6, HelloBody{Load: 0.42, NbrLoads: []NeighborLoad{
+			{ID: 1, Load: 0.1}, {ID: 2, Load: 0.9},
+		}}, 3*des.Second),
+	}
+	for _, p := range packets {
+		p.UID = 1234567
+		q := roundTrip(t, p)
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", p, q)
+		}
+	}
+}
+
+func TestCodecEmptyBodies(t *testing.T) {
+	p := NewRERR(1, nil, 0)
+	q := roundTrip(t, p)
+	if len(q.RERR.Unreachable) != 0 {
+		t.Fatalf("empty RERR round trip %+v", q.RERR)
+	}
+	h := NewHello(1, HelloBody{Load: 0}, 0)
+	q2 := roundTrip(t, h)
+	if len(q2.Hello.NbrLoads) != 0 {
+		t.Fatalf("empty hello round trip %+v", q2.Hello)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := Unmarshal([]byte{codecVersion, 99}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Unmarshal([]byte{42, 0}); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// Truncations at every prefix length must error, never panic.
+	full := NewRREQ(RREQBody{ID: 1, Origin: 2, Target: 3}, 0, 10).Marshal()
+	for i := 0; i < len(full); i++ {
+		if _, err := Unmarshal(full[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", i)
+		}
+	}
+	// Trailing garbage must be rejected.
+	if _, err := Unmarshal(append(full, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// Property: any RREQ body round-trips exactly.
+func TestQuickCodecRREQ(t *testing.T) {
+	f := func(id, oseq, tseq uint32, origin, target int16, hops uint8, cost float64, known bool, attempt uint8, ttl uint8) bool {
+		p := NewRREQ(RREQBody{
+			ID: id, Origin: NodeID(origin), OriginSeq: oseq,
+			Target: NodeID(target), TargetSeq: tseq, TargetSeqKnown: known,
+			HopCount: int(hops), Cost: cost, Attempt: attempt,
+		}, des.Time(id), int(ttl)+1)
+		q, err := Unmarshal(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any HELLO with arbitrary neighbour tables round-trips.
+func TestQuickCodecHello(t *testing.T) {
+	f := func(load float64, ids []int16, loads []uint16) bool {
+		n := len(ids)
+		if len(loads) < n {
+			n = len(loads)
+		}
+		body := HelloBody{Load: load}
+		for i := 0; i < n; i++ {
+			body.NbrLoads = append(body.NbrLoads, NeighborLoad{
+				ID:   NodeID(ids[i]),
+				Load: float64(loads[i]) / 65535,
+			})
+		}
+		p := NewHello(3, body, des.Second)
+		q, err := Unmarshal(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalRREQ(b *testing.B) {
+	p := NewRREQ(RREQBody{ID: 1, Origin: 2, Target: 3, Cost: 1.5}, 0, 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Marshal()
+	}
+}
+
+func BenchmarkUnmarshalRREQ(b *testing.B) {
+	data := NewRREQ(RREQBody{ID: 1, Origin: 2, Target: 3, Cost: 1.5}, 0, 30).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package plot renders (x, y) series as ASCII line charts. The experiment
+// CLI uses it so the *shape* of each reproduced figure — who wins, where
+// curves cross — is visible directly in a terminal, without external
+// plotting tools (the repository is stdlib-only).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers assigns one glyph per series, in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options configure a chart.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (excluding axes and labels). Zero selects 64×20.
+	Width, Height int
+	// YMin/YMax force the y range; when both are zero the range is
+	// derived from the data with a small margin.
+	YMin, YMax float64
+}
+
+// Render draws the chart. Series with mismatched X/Y lengths or no points
+// are skipped. Returns "" if nothing is plottable.
+func Render(opt Options, series ...Series) string {
+	w, h := opt.Width, opt.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	var usable []Series
+	for _, s := range series {
+		if len(s.X) > 0 && len(s.X) == len(s.Y) {
+			usable = append(usable, s)
+		}
+	}
+	if len(usable) == 0 {
+		return ""
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range usable {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if opt.YMin != 0 || opt.YMax != 0 {
+		ymin, ymax = opt.YMin, opt.YMax
+	} else {
+		// Pad the y range so extreme points don't sit on the frame.
+		pad := (ymax - ymin) * 0.05
+		if pad == 0 {
+			pad = math.Abs(ymax) * 0.1
+			if pad == 0 {
+				pad = 1
+			}
+		}
+		ymin -= pad
+		ymax += pad
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	// Plot grid.
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		return clampInt(c, 0, w-1)
+	}
+	toRow := func(y float64) int {
+		r := int(math.Round((y - ymin) / (ymax - ymin) * float64(h-1)))
+		return clampInt(h-1-r, 0, h-1)
+	}
+
+	for si, s := range usable {
+		mk := markers[si%len(markers)]
+		// Connect consecutive points with linear interpolation so trends
+		// read as lines, then overwrite with the series marker at data
+		// points.
+		for i := 1; i < len(s.X); i++ {
+			drawSegment(grid, toCol(s.X[i-1]), toRow(s.Y[i-1]), toCol(s.X[i]), toRow(s.Y[i]), '.')
+		}
+		for i := range s.X {
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = mk
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "  %s\n", opt.Title)
+	}
+	yLabelWidth := 10
+	for row := 0; row < h; row++ {
+		// Label the top, middle and bottom rows.
+		switch row {
+		case 0:
+			fmt.Fprintf(&b, "%*.4g |", yLabelWidth, ymax)
+		case h / 2:
+			fmt.Fprintf(&b, "%*.4g |", yLabelWidth, (ymin+ymax)/2)
+		case h - 1:
+			fmt.Fprintf(&b, "%*.4g |", yLabelWidth, ymin)
+		default:
+			fmt.Fprintf(&b, "%s |", strings.Repeat(" ", yLabelWidth))
+		}
+		b.Write(grid[row])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", yLabelWidth), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n",
+		strings.Repeat(" ", yLabelWidth), w/2, xmin, w-w/2, xmax)
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", yLabelWidth), center(opt.XLabel, w))
+	}
+	// Legend.
+	b.WriteString(strings.Repeat(" ", yLabelWidth+2))
+	for si, s := range usable {
+		if si > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", markers[si%len(markers)], s.Name)
+	}
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, "   [y: %s]", opt.YLabel)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// drawSegment draws a Bresenham-style line of filler characters, skipping
+// cells already holding a marker.
+func drawSegment(grid [][]byte, c0, r0, c1, r1 int, fill byte) {
+	dc := absInt(c1 - c0)
+	dr := absInt(r1 - r0)
+	sc := 1
+	if c0 > c1 {
+		sc = -1
+	}
+	sr := 1
+	if r0 > r1 {
+		sr = -1
+	}
+	e := dc - dr
+	c, r := c0, r0
+	for {
+		if grid[r][c] == ' ' {
+			grid[r][c] = fill
+		}
+		if c == c1 && r == r1 {
+			return
+		}
+		e2 := 2 * e
+		if e2 > -dr {
+			e -= dr
+			c += sc
+		}
+		if e2 < dc {
+			e += dc
+			r += sr
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}

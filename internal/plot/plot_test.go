@@ -1,0 +1,98 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(Options{Title: "demo", XLabel: "load", YLabel: "pdr"},
+		Series{Name: "flood", X: []float64{1, 2, 3, 4}, Y: []float64{1, 0.9, 0.6, 0.3}},
+		Series{Name: "clnlr", X: []float64{1, 2, 3, 4}, Y: []float64{1, 0.95, 0.8, 0.5}},
+	)
+	for _, want := range []string{"demo", "load", "pdr", "flood", "clnlr", "*", "o", "+-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 20 rows + axis + ticks + xlabel + legend
+	if len(lines) < 24 {
+		t.Fatalf("chart has %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if Render(Options{}) != "" {
+		t.Fatal("empty input should render nothing")
+	}
+	if Render(Options{}, Series{Name: "bad", X: []float64{1}, Y: nil}) != "" {
+		t.Fatal("mismatched series should be skipped")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := Render(Options{}, Series{Name: "p", X: []float64{5}, Y: []float64{7}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// A flat line must not divide by zero.
+	out := Render(Options{}, Series{Name: "c", X: []float64{0, 1, 2}, Y: []float64{3, 3, 3}})
+	if out == "" || !strings.Contains(out, "*") {
+		t.Fatalf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestMonotoneSeriesOrientation(t *testing.T) {
+	// An increasing series must place its last marker on a higher row
+	// (smaller row index) than its first.
+	out := Render(Options{Width: 40, Height: 10},
+		Series{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}})
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, l := range lines {
+		if !strings.Contains(l, "|") {
+			continue
+		}
+		body := l[strings.Index(l, "|"):]
+		if strings.Contains(body, "*") {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 {
+		t.Fatalf("no markers:\n%s", out)
+	}
+	// Top rows print first: the max (y=3) should appear before the min.
+	if firstRow >= lastRow {
+		t.Fatalf("orientation wrong: first marker row %d, last %d\n%s", firstRow, lastRow, out)
+	}
+}
+
+func TestExplicitYRange(t *testing.T) {
+	out := Render(Options{YMin: 0, YMax: 1, Width: 30, Height: 8},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{0.2, 0.8}})
+	if !strings.Contains(out, "1 |") {
+		t.Fatalf("explicit y max not labelled:\n%s", out)
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	var ss []Series
+	for i := 0; i < 10; i++ {
+		ss = append(ss, Series{
+			Name: strings.Repeat("s", i+1),
+			X:    []float64{0, 1},
+			Y:    []float64{float64(i), float64(i + 1)},
+		})
+	}
+	out := Render(Options{}, ss...)
+	if out == "" {
+		t.Fatal("ten series rendered nothing")
+	}
+}

@@ -1,0 +1,321 @@
+package radio
+
+import (
+	"fmt"
+
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+)
+
+// Params are the per-radio RF parameters. The defaults (see DefaultParams)
+// reproduce the classic 914 MHz WaveLAN configuration: 250 m receive range
+// and 550 m carrier-sense range under two-ray propagation.
+type Params struct {
+	// TxPowerW is the transmit power in watts.
+	TxPowerW float64
+	// RxThreshW is the minimum power for a frame to be decodable.
+	RxThreshW float64
+	// CsThreshW is the carrier-sense threshold: aggregate in-band energy
+	// at or above it makes the channel appear busy.
+	CsThreshW float64
+	// NoiseW is the thermal noise floor used in SINR computation.
+	NoiseW float64
+	// CaptureRatio is the minimum linear SINR for successful reception
+	// (10 ≈ 10 dB, the ns-2 default CPThresh).
+	CaptureRatio float64
+}
+
+// DefaultParams returns the WaveLAN-style parameter set.
+func DefaultParams() Params {
+	return Params{
+		TxPowerW:     0.2818,    // 24.5 dBm
+		RxThreshW:    3.652e-10, // 250 m under two-ray
+		CsThreshW:    1.559e-11, // 550 m under two-ray
+		NoiseW:       1e-13,
+		CaptureRatio: 10,
+	}
+}
+
+// Listener is the upward interface of a Radio: the PHY/MAC entity attached
+// to it. All callbacks run on the simulation goroutine.
+type Listener interface {
+	// RadioReceive delivers a frame whose airtime finished at this node.
+	// ok is false if the frame was corrupted by interference or by the
+	// node transmitting during reception; corrupted frames matter to the
+	// MAC (EIFS behaviour) even though their contents are unusable.
+	RadioReceive(payload any, bytes int, ok bool)
+	// RadioCarrier reports carrier-sense transitions (busy=true when
+	// aggregate sensed energy crosses the CS threshold upward). The
+	// node's own transmissions are not included — the MAC already knows
+	// when it transmits.
+	RadioCarrier(busy bool)
+	// RadioTxDone fires when the node's own transmission ends.
+	RadioTxDone(payload any)
+}
+
+// transmission is one frame in flight.
+type transmission struct {
+	src     *Radio
+	payload any
+	bytes   int
+	end     des.Time
+	// snrScale scales the receiver's sensitivity and capture thresholds
+	// for this frame: higher-rate modulations (snrScale > 1) need
+	// proportionally more signal to decode, shrinking their range.
+	snrScale float64
+	// rxPower[i] is the power this transmission contributes at the i-th
+	// entry of touched (parallel slices; small, so slices beat maps).
+	touched []*Radio
+	rxPower []float64
+}
+
+// arrival is the receiver-side state for the frame a radio is locked onto.
+type arrival struct {
+	t         *transmission
+	power     float64
+	corrupted bool
+}
+
+// Radio is a node's attachment to the Medium.
+type Radio struct {
+	m        *Medium
+	id       int
+	pos      geom.Point
+	channel  int
+	params   Params
+	listener Listener
+
+	transmitting bool
+	current      arrival // the frame being received; current.t == nil if none
+	// energy is the aggregate power of all ongoing foreign arrivals.
+	energy float64
+	// live tracks ongoing foreign transmissions audible here, to rebuild
+	// energy without floating-point drift.
+	live map[*transmission]float64
+	busy bool // last carrier state notified
+}
+
+// ID returns the radio's dense index within its medium.
+func (r *Radio) ID() int { return r.id }
+
+// Pos returns the radio's position.
+func (r *Radio) Pos() geom.Point { return r.pos }
+
+// SetPos moves the radio (mobility support). The new position applies to
+// subsequent transmissions; frames already in flight keep the powers
+// computed at their start — the standard packet-level approximation, exact
+// for any realistic speed (a frame lasts ~2 ms; at 20 m/s that is 4 cm of
+// motion).
+func (r *Radio) SetPos(p geom.Point) { r.pos = p }
+
+// Channel returns the radio's frequency channel (0 by default). Radios on
+// different channels neither decode nor interfere with each other —
+// orthogonal channels in the 802.11 sense.
+func (r *Radio) Channel() int { return r.channel }
+
+// SetChannel retunes the radio. It takes effect for subsequent
+// transmissions and arrivals; frames already in flight complete under the
+// channel they started on. Retuning while transmitting is a programming
+// error.
+func (r *Radio) SetChannel(ch int) {
+	if r.transmitting {
+		panic(fmt.Sprintf("radio %d: SetChannel while transmitting", r.id))
+	}
+	r.channel = ch
+}
+
+// Medium is the shared channel connecting all radios in one simulation.
+type Medium struct {
+	sim    *des.Sim
+	prop   Propagation
+	radios []*Radio
+	// minTrackW: arrivals weaker than this are ignored entirely (they are
+	// far below both noise and CS thresholds).
+	minTrackW float64
+
+	// Counters for validation and benchmarks.
+	Transmissions uint64
+	Deliveries    uint64
+	Corruptions   uint64
+}
+
+// NewMedium creates an empty channel using the given propagation model.
+func NewMedium(sim *des.Sim, prop Propagation) *Medium {
+	return &Medium{sim: sim, prop: prop, minTrackW: 1e-14}
+}
+
+// Attach adds a radio at pos and returns it. The listener must be set
+// before the first transmission via SetListener (two-phase because the MAC
+// needs the radio and vice versa).
+func (m *Medium) Attach(pos geom.Point, params Params) *Radio {
+	r := &Radio{
+		m:      m,
+		id:     len(m.radios),
+		pos:    pos,
+		params: params,
+		live:   make(map[*transmission]float64, 8),
+	}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// SetListener installs the upward callback interface.
+func (r *Radio) SetListener(l Listener) { r.listener = l }
+
+// NumRadios returns the number of attached radios.
+func (m *Medium) NumRadios() int { return len(m.radios) }
+
+// RxPowerBetween exposes the propagation computation for topology
+// construction (connectivity graphs use the same model as the channel).
+func (m *Medium) RxPowerBetween(from, to int) float64 {
+	a, b := m.radios[from], m.radios[to]
+	return m.prop.RxPower(a.params.TxPowerW, a.pos, b.pos, m.sim.Now())
+}
+
+// InRange reports whether a frame from `from` is decodable at `to` in the
+// absence of interference (radios on different channels never are).
+func (m *Medium) InRange(from, to int) bool {
+	if m.radios[from].channel != m.radios[to].channel {
+		return false
+	}
+	return m.RxPowerBetween(from, to) >= m.radios[to].params.RxThreshW
+}
+
+// Transmitting reports whether the radio is currently sending.
+func (r *Radio) Transmitting() bool { return r.transmitting }
+
+// CarrierBusy reports the current carrier-sense state (excluding own tx).
+func (r *Radio) CarrierBusy() bool { return r.energy >= r.params.CsThreshW }
+
+// Transmit puts a frame of the given size on the air for duration at the
+// radio's reference modulation. The caller (MAC) is responsible for
+// medium-access rules; the radio model faithfully transmits even into a
+// busy channel (that is how collisions happen). Transmitting while already
+// transmitting is a programming error.
+func (r *Radio) Transmit(payload any, bytes int, duration des.Time) {
+	r.TransmitRated(payload, bytes, duration, 1)
+}
+
+// TransmitRated is Transmit with an explicit SINR scale for multi-rate
+// PHYs: a frame sent at a modulation needing snrScale× the reference SINR
+// decodes over a correspondingly shorter range and is more fragile to
+// interference. snrScale 1 is the reference rate.
+func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScale float64) {
+	if r.transmitting {
+		panic(fmt.Sprintf("radio %d: Transmit while already transmitting", r.id))
+	}
+	if duration <= 0 {
+		panic("radio: non-positive transmission duration")
+	}
+	if snrScale < 1 {
+		snrScale = 1
+	}
+	m := r.m
+	m.Transmissions++
+	r.transmitting = true
+	// Transmitting corrupts any reception in progress (half-duplex).
+	if r.current.t != nil {
+		r.current.corrupted = true
+	}
+
+	t := &transmission{
+		src:      r,
+		payload:  payload,
+		bytes:    bytes,
+		end:      m.sim.Now() + duration,
+		snrScale: snrScale,
+	}
+	for _, rx := range m.radios {
+		if rx == r || rx.channel != r.channel {
+			continue
+		}
+		p := m.prop.RxPower(r.params.TxPowerW, r.pos, rx.pos, m.sim.Now())
+		if p < m.minTrackW {
+			continue
+		}
+		t.touched = append(t.touched, rx)
+		t.rxPower = append(t.rxPower, p)
+		rx.arrivalStart(t, p)
+	}
+	m.sim.Schedule(duration, func() { m.finish(t) })
+}
+
+// finish ends transmission t: concludes reception at every touched radio
+// and releases the sender.
+func (m *Medium) finish(t *transmission) {
+	for i, rx := range t.touched {
+		rx.arrivalEnd(t, t.rxPower[i])
+	}
+	src := t.src
+	src.transmitting = false
+	src.listener.RadioTxDone(t.payload)
+	// The channel may have become busy underneath the transmission.
+	src.updateCarrier()
+}
+
+// arrivalStart registers an incoming frame at this radio and decides
+// whether to lock onto it or treat it as interference.
+func (r *Radio) arrivalStart(t *transmission, p float64) {
+	r.live[t] = p
+	r.energy += p
+
+	switch {
+	case r.transmitting:
+		// Half-duplex: everything arriving during own tx is just energy.
+	case r.current.t == nil:
+		// Idle receiver: lock on if decodable with adequate SINR against
+		// the interference present at the preamble. Higher-rate frames
+		// (snrScale > 1) need proportionally more signal.
+		interf := r.energy - p
+		if p >= r.params.RxThreshW*t.snrScale &&
+			p >= r.params.CaptureRatio*t.snrScale*(r.params.NoiseW+interf) {
+			r.current = arrival{t: t, power: p}
+		}
+	default:
+		// Mid-reception: the new frame is interference; if it destroys
+		// the SINR of the frame in progress, that frame is lost (latched
+		// — a momentary collision corrupts the whole frame).
+		cur := &r.current
+		interf := r.energy - cur.power
+		if cur.power < r.params.CaptureRatio*cur.t.snrScale*(r.params.NoiseW+interf) {
+			cur.corrupted = true
+			r.m.Corruptions++
+		}
+	}
+	r.updateCarrier()
+}
+
+// arrivalEnd removes the frame's energy and, if it was the locked frame,
+// delivers it upward.
+func (r *Radio) arrivalEnd(t *transmission, p float64) {
+	delete(r.live, t)
+	if len(r.live) == 0 {
+		r.energy = 0 // clamp accumulated floating-point drift
+	} else {
+		r.energy -= p
+		if r.energy < 0 {
+			r.energy = 0
+		}
+	}
+
+	if r.current.t == t {
+		ok := !r.current.corrupted && !r.transmitting
+		r.current = arrival{}
+		if ok {
+			r.m.Deliveries++
+		}
+		r.listener.RadioReceive(t.payload, t.bytes, ok)
+	}
+	r.updateCarrier()
+}
+
+// updateCarrier pushes carrier-sense transitions to the listener.
+func (r *Radio) updateCarrier() {
+	b := r.energy >= r.params.CsThreshW
+	if b != r.busy {
+		r.busy = b
+		if r.listener != nil {
+			r.listener.RadioCarrier(b)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package aodv provides the plain-AODV baseline: blind flooding of RREQs
+// (every node rebroadcasts the first copy of each flood) and
+// first-RREQ-wins replies. It is the reference point every probabilistic
+// scheme is measured against.
+package aodv
+
+import (
+	"clnlr/internal/pkt"
+	"clnlr/internal/routing"
+)
+
+// Policy implements blind flooding.
+type Policy struct{}
+
+// Name implements routing.RREQPolicy.
+func (Policy) Name() string { return "flood" }
+
+// OnRREQ implements routing.RREQPolicy: rebroadcast first copies, drop
+// duplicates.
+func (Policy) OnRREQ(c *routing.Core, p *pkt.Packet, from pkt.NodeID, first bool) {
+	if first {
+		c.ForwardRREQ(p, 0)
+	}
+}
+
+// CostIncrement implements routing.RREQPolicy: hop count.
+func (Policy) CostIncrement(*routing.Core) float64 { return 1 }
+
+// New builds an AODV agent with the shared default configuration.
+func New(env routing.Env) *routing.Core {
+	return NewWithConfig(env, routing.DefaultConfig())
+}
+
+// NewWithConfig builds an AODV agent with explicit shared configuration
+// (the policy itself has no knobs).
+func NewWithConfig(env routing.Env, cfg routing.Config) *routing.Core {
+	cfg.ReplyWindow = 0
+	return routing.New(env, cfg, Policy{})
+}
+
+var _ routing.RREQPolicy = Policy{}

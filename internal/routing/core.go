@@ -1,0 +1,552 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+	"clnlr/internal/trace"
+)
+
+// Config tunes the shared routing machinery. The defaults follow the
+// classic AODV evaluation setup.
+type Config struct {
+	// TTL is the initial hop limit of RREQs and data packets.
+	TTL int
+	// RREQRetries is how many additional floods a source attempts after
+	// the first discovery times out.
+	RREQRetries int
+	// DiscoveryTimeout is the wait per flood before retrying/failing.
+	DiscoveryTimeout des.Time
+	// BufferCap bounds the per-destination queue of data packets waiting
+	// for a route.
+	BufferCap int
+	// RouteLifetime is the validity period of installed forward routes
+	// (refreshed by use); ReverseRouteLife that of RREQ reverse routes.
+	RouteLifetime    des.Time
+	ReverseRouteLife des.Time
+	// MaxJitter is the uniform random delay added to RREQ rebroadcasts to
+	// de-synchronise neighbours (the standard broadcast-jitter trick).
+	MaxJitter des.Time
+	// ReplyWindow, when positive, makes the destination collect RREQ
+	// copies for that long and reply to the minimum-cost one (CLNLR's
+	// route selection). Zero restores first-RREQ-wins.
+	ReplyWindow des.Time
+	// HelloEnabled turns on periodic load beacons; HelloInterval their
+	// period; HelloLossAllowance how many missed beacons before a
+	// neighbour's information is considered stale; TwoHopHello whether
+	// beacons piggyback the sender's 1-hop load table.
+	HelloEnabled       bool
+	HelloInterval      des.Time
+	HelloLossAllowance int
+	TwoHopHello        bool
+	// DupHorizon is how long RREQ flood identifiers stay in the duplicate
+	// cache.
+	DupHorizon des.Time
+	// ExpandingRing, when non-empty, is the TTL ladder of expanding-ring
+	// search (RFC 3561 §6.4): the first floods use these TTLs in order
+	// before falling back to RREQRetries full-TTL floods. Nearby
+	// destinations are then found with tiny, cheap floods.
+	ExpandingRing []int
+}
+
+// DefaultConfig returns the baseline parameters shared by every scheme.
+func DefaultConfig() Config {
+	return Config{
+		TTL:                30,
+		RREQRetries:        2,
+		DiscoveryTimeout:   des.Second,
+		BufferCap:          64,
+		RouteLifetime:      5 * des.Second,
+		ReverseRouteLife:   3 * des.Second,
+		MaxJitter:          10 * des.Millisecond,
+		ReplyWindow:        0,
+		HelloEnabled:       false,
+		HelloInterval:      des.Second,
+		HelloLossAllowance: 2,
+		TwoHopHello:        false,
+		DupHorizon:         5 * des.Second,
+	}
+}
+
+// discovery is an in-progress route search at a source node.
+type discovery struct {
+	dst      pkt.NodeID
+	attempts int
+	timer    *des.Event
+	buffer   []*pkt.Packet
+}
+
+// replyCandidate is the best RREQ copy collected during a reply window.
+type replyCandidate struct {
+	from      pkt.NodeID
+	cost      float64
+	hops      int
+	originSeq uint32
+}
+
+// replyWait is the destination-side state of one collect-and-reply window.
+type replyWait struct {
+	best replyCandidate
+}
+
+// Core is the shared routing engine. One Core per node; it implements
+// mac.Upper and drives the scheme-specific RREQPolicy.
+type Core struct {
+	Env    Env
+	Cfg    Config
+	policy RREQPolicy
+
+	table      *Table
+	dup        *DupCache
+	nbrs       *NeighborTable
+	seq        uint32
+	rreqID     uint32
+	pending    map[pkt.NodeID]*discovery
+	replyWaits map[rreqKey]*replyWait
+	hello      *des.Ticker
+
+	// Ctr tallies this node's routing events.
+	Ctr Counters
+}
+
+// New builds a routing core around the node environment and scheme policy.
+func New(env Env, cfg Config, policy RREQPolicy) *Core {
+	maxAge := cfg.HelloInterval * des.Time(cfg.HelloLossAllowance+1)
+	c := &Core{
+		Env:        env,
+		Cfg:        cfg,
+		policy:     policy,
+		table:      NewTable(env.Sim),
+		dup:        NewDupCache(env.Sim, cfg.DupHorizon),
+		nbrs:       NewNeighborTable(env.Sim, maxAge),
+		pending:    make(map[pkt.NodeID]*discovery),
+		replyWaits: make(map[rreqKey]*replyWait),
+	}
+	env.Mac.SetUpper(c)
+	return c
+}
+
+// Start launches periodic activity (HELLO beacons when enabled).
+func (c *Core) Start() {
+	c.Env.Mac.Start()
+	if c.Cfg.HelloEnabled {
+		c.hello = des.NewTicker(c.Env.Sim, c.Cfg.HelloInterval, c.sendHello).
+			WithJitter(func() des.Time {
+				return des.Time(c.Env.Rng.Intn(int(100 * des.Millisecond)))
+			})
+		// Randomise the first beacon across the whole interval so nodes
+		// never synchronise.
+		c.hello.Start(des.Time(c.Env.Rng.Intn(int(c.Cfg.HelloInterval))))
+	}
+}
+
+// Policy returns the scheme policy (exposed for tests and reports).
+func (c *Core) Policy() RREQPolicy { return c.policy }
+
+// tracef emits a structured routing event when tracing is enabled. The
+// detail string is only formatted when a sink is installed.
+func (c *Core) tracef(event, format string, args ...any) {
+	if c.Env.Trace == nil {
+		return
+	}
+	c.Env.Trace.Record(trace.Record{
+		T:      c.Env.Sim.Now(),
+		Node:   c.Env.ID,
+		Layer:  "routing",
+		Event:  event,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Table returns the node's routing table (exposed for tests).
+func (c *Core) Table() *Table { return c.table }
+
+// Neighbors returns the HELLO-derived neighbour table.
+func (c *Core) Neighbors() *NeighborTable { return c.nbrs }
+
+// OwnLoad returns the node's cross-layer local load from the MAC.
+func (c *Core) OwnLoad() float64 { return c.Env.Mac.LoadStats().Load }
+
+// NeighborhoodLoad returns the smoothed neighbourhood load NL ∈ [0,1].
+func (c *Core) NeighborhoodLoad(twoHop bool) float64 {
+	return c.nbrs.NeighborhoodLoad(c.Env.ID, c.OwnLoad(), twoHop)
+}
+
+// Send submits an application data packet: route it if possible, otherwise
+// buffer it and start discovery.
+func (c *Core) Send(p *pkt.Packet) {
+	c.Ctr.DataOriginated++
+	if r := c.table.Lookup(p.Dst); r != nil {
+		c.forwardData(p, r)
+		return
+	}
+	c.bufferAndDiscover(p)
+}
+
+func (c *Core) forwardData(p *pkt.Packet, r *Route) {
+	c.table.Refresh(p.Dst, c.Cfg.RouteLifetime)
+	c.Env.Mac.Send(p, r.NextHop)
+}
+
+func (c *Core) bufferAndDiscover(p *pkt.Packet) {
+	d, ok := c.pending[p.Dst]
+	if !ok {
+		d = &discovery{dst: p.Dst}
+		c.pending[p.Dst] = d
+		c.Ctr.DiscoveriesStarted++
+		c.originateRREQ(d)
+	}
+	if len(d.buffer) >= c.Cfg.BufferCap {
+		c.Ctr.DropBufferFull++
+		return
+	}
+	d.buffer = append(d.buffer, p)
+}
+
+// discoveryTTL returns the flood TTL for the given 1-based attempt,
+// walking the expanding-ring ladder before full-TTL floods.
+func (c *Core) discoveryTTL(attempt int) int {
+	rings := c.Cfg.ExpandingRing
+	if attempt <= len(rings) {
+		ttl := rings[attempt-1]
+		if ttl < 1 {
+			ttl = 1
+		}
+		if ttl > c.Cfg.TTL {
+			ttl = c.Cfg.TTL
+		}
+		return ttl
+	}
+	return c.Cfg.TTL
+}
+
+// maxDiscoveryAttempts returns the total flood budget: the ring ladder
+// plus 1+RREQRetries full-TTL floods.
+func (c *Core) maxDiscoveryAttempts() int {
+	return len(c.Cfg.ExpandingRing) + 1 + c.Cfg.RREQRetries
+}
+
+// originateRREQ floods (or re-floods) a route request for d.dst.
+func (c *Core) originateRREQ(d *discovery) {
+	d.attempts++
+	c.seq++
+	c.rreqID++
+	attempt := d.attempts - 1
+	if attempt > 255 {
+		attempt = 255
+	}
+	body := pkt.RREQBody{
+		ID:        c.rreqID,
+		Origin:    c.Env.ID,
+		OriginSeq: c.seq,
+		Target:    d.dst,
+		HopCount:  0,
+		Cost:      0,
+		Attempt:   uint8(attempt),
+	}
+	if old := c.table.Get(d.dst); old != nil && old.SeqValid {
+		body.TargetSeq = old.Seq
+		body.TargetSeqKnown = true
+	}
+	p := pkt.NewRREQ(body, c.Env.Sim.Now(), c.discoveryTTL(d.attempts))
+	// Remember our own flood so echoed copies are ignored cheaply.
+	c.dup.Seen(c.Env.ID, c.rreqID)
+	c.Ctr.RREQOriginated++
+	c.tracef("rreq-originate", "target=%v id=%d attempt=%d", d.dst, c.rreqID, d.attempts)
+	c.Env.Mac.Send(p, pkt.Broadcast)
+	d.timer = c.Env.Sim.Schedule(c.Cfg.DiscoveryTimeout, func() { c.discoveryTimeout(d) })
+}
+
+func (c *Core) discoveryTimeout(d *discovery) {
+	if c.pending[d.dst] != d {
+		return // already resolved
+	}
+	if d.attempts >= c.maxDiscoveryAttempts() {
+		c.Ctr.DiscoveriesFailed++
+		c.Ctr.DropNoRoute += uint64(len(d.buffer))
+		delete(c.pending, d.dst)
+		c.tracef("discovery-fail", "target=%v buffered=%d", d.dst, len(d.buffer))
+		return
+	}
+	c.originateRREQ(d)
+}
+
+// routeReady flushes buffered traffic once discovery for dst succeeds.
+func (c *Core) routeReady(dst pkt.NodeID) {
+	d, ok := c.pending[dst]
+	if !ok {
+		return
+	}
+	r := c.table.Lookup(dst)
+	if r == nil {
+		return
+	}
+	if d.timer != nil {
+		d.timer.Cancel()
+	}
+	delete(c.pending, dst)
+	c.Ctr.DiscoveriesSucceeded++
+	c.tracef("discovery-ok", "target=%v via=%v cost=%.2f flushed=%d", dst, r.NextHop, r.Cost, len(d.buffer))
+	for _, p := range d.buffer {
+		c.forwardData(p, r)
+	}
+}
+
+// ForwardRREQ rebroadcasts a received RREQ copy on the policy's behalf:
+// it applies TTL, hop-count and cost updates plus the de-synchronisation
+// jitter, then hands the clone to the MAC. extraDelay is added before the
+// jitter (schemes with assessment delays pass their remainder here).
+func (c *Core) ForwardRREQ(p *pkt.Packet, extraDelay des.Time) {
+	if p.TTL <= 1 {
+		c.Ctr.DropTTL++
+		return
+	}
+	q := p.Clone()
+	q.TTL--
+	q.RREQ.HopCount++
+	q.RREQ.Cost += c.policy.CostIncrement(c)
+	delay := extraDelay
+	if c.Cfg.MaxJitter > 0 {
+		delay += des.Time(c.Env.Rng.Intn(int(c.Cfg.MaxJitter)))
+	}
+	c.Ctr.RREQForwarded++
+	c.tracef("rreq-forward", "origin=%v id=%d hops=%d cost=%.2f", q.RREQ.Origin, q.RREQ.ID, q.RREQ.HopCount, q.RREQ.Cost)
+	c.Env.Sim.Schedule(delay, func() { c.Env.Mac.Send(q, pkt.Broadcast) })
+}
+
+// SuppressRREQ records that the policy declined to forward a copy.
+func (c *Core) SuppressRREQ() {
+	c.Ctr.RREQSuppressed++
+	c.tracef("rreq-suppress", "")
+}
+
+// --- inbound dispatch (mac.Upper) ---
+
+// MacReceive implements mac.Upper.
+func (c *Core) MacReceive(p *pkt.Packet, from pkt.NodeID) {
+	switch p.Kind {
+	case pkt.RREQ:
+		c.handleRREQ(p, from)
+	case pkt.RREP:
+		c.handleRREP(p, from)
+	case pkt.RERR:
+		c.handleRERR(p, from)
+	case pkt.Hello:
+		c.handleHello(p, from)
+	case pkt.Data:
+		c.handleData(p, from)
+	}
+}
+
+func (c *Core) handleRREQ(p *pkt.Packet, from pkt.NodeID) {
+	c.Ctr.RREQReceived++
+	b := p.RREQ
+	if b.Origin == c.Env.ID {
+		return // echo of our own flood
+	}
+	first := !c.dup.Seen(b.Origin, b.ID)
+
+	// Reverse route toward the origin (updated by better copies too).
+	c.table.Update(Route{
+		Dst:      b.Origin,
+		NextHop:  from,
+		HopCount: b.HopCount + 1,
+		Cost:     b.Cost,
+		Seq:      b.OriginSeq,
+		SeqValid: true,
+		Expires:  c.Env.Sim.Now() + c.Cfg.ReverseRouteLife,
+		Valid:    true,
+	})
+
+	if b.Target == c.Env.ID {
+		c.handleTargetRREQ(p, from, first)
+		return
+	}
+	c.policy.OnRREQ(c, p, from, first)
+}
+
+// handleTargetRREQ implements the destination's reply behaviour.
+func (c *Core) handleTargetRREQ(p *pkt.Packet, from pkt.NodeID, first bool) {
+	b := p.RREQ
+	if c.Cfg.ReplyWindow <= 0 {
+		if first {
+			c.sendRREPAsTarget(b.Origin, from, b.HopCount, b.Cost)
+		}
+		return
+	}
+	k := rreqKey{b.Origin, b.ID}
+	cand := replyCandidate{from: from, cost: b.Cost, hops: b.HopCount, originSeq: b.OriginSeq}
+	w, ok := c.replyWaits[k]
+	if !ok {
+		if !first {
+			// The window for this flood already closed and was answered;
+			// a straggler copy must not open another one (that would
+			// storm duplicate RREPs back toward the origin).
+			return
+		}
+		c.replyWaits[k] = &replyWait{best: cand}
+		c.Env.Sim.Schedule(c.Cfg.ReplyWindow, func() {
+			ww := c.replyWaits[k]
+			delete(c.replyWaits, k)
+			c.sendRREPAsTarget(b.Origin, ww.best.from, ww.best.hops, ww.best.cost)
+		})
+		return
+	}
+	const eps = 1e-9
+	if cand.cost < w.best.cost-eps ||
+		(cand.cost <= w.best.cost+eps && cand.hops < w.best.hops) {
+		w.best = cand
+	}
+}
+
+// sendRREPAsTarget generates the route reply and unicasts it to the chosen
+// previous hop.
+func (c *Core) sendRREPAsTarget(origin, via pkt.NodeID, hops int, cost float64) {
+	c.seq++
+	body := pkt.RREPBody{
+		Origin:    origin,
+		Target:    c.Env.ID,
+		TargetSeq: c.seq,
+		HopCount:  0,
+		Cost:      cost,
+		Lifetime:  c.Cfg.RouteLifetime,
+	}
+	p := pkt.NewRREP(c.Env.ID, body, c.Env.Sim.Now(), c.Cfg.TTL)
+	c.Ctr.RREPSent++
+	c.tracef("rrep-send", "origin=%v via=%v cost=%.2f", origin, via, cost)
+	c.Env.Mac.Send(p, via)
+	_ = hops
+}
+
+func (c *Core) handleRREP(p *pkt.Packet, from pkt.NodeID) {
+	c.Ctr.RREPReceived++
+	b := p.RREP
+	// Install/refresh the forward route to the target.
+	c.table.Update(Route{
+		Dst:      b.Target,
+		NextHop:  from,
+		HopCount: b.HopCount + 1,
+		Cost:     b.Cost,
+		Seq:      b.TargetSeq,
+		SeqValid: true,
+		Expires:  c.Env.Sim.Now() + b.Lifetime,
+		Valid:    true,
+	})
+	if b.Origin == c.Env.ID {
+		c.routeReady(b.Target)
+		return
+	}
+	// Forward along the reverse route toward the origin.
+	r := c.table.Lookup(b.Origin)
+	if r == nil {
+		return // reverse route evaporated; origin will retry
+	}
+	if p.TTL <= 1 {
+		c.Ctr.DropTTL++
+		return
+	}
+	q := p.Clone()
+	q.TTL--
+	q.RREP.HopCount++
+	c.Ctr.RREPForwarded++
+	c.Env.Mac.Send(q, r.NextHop)
+}
+
+func (c *Core) handleRERR(p *pkt.Packet, from pkt.NodeID) {
+	c.Ctr.RERRReceived++
+	var lost []pkt.UnreachableDest
+	for _, u := range p.RERR.Unreachable {
+		r := c.table.Get(u.Node)
+		if r != nil && r.Valid && r.NextHop == from {
+			r.Valid = false
+			if pkt.SeqNewer(u.Seq, r.Seq) {
+				r.Seq = u.Seq
+			}
+			lost = append(lost, pkt.UnreachableDest{Node: u.Node, Seq: r.Seq})
+		}
+	}
+	if len(lost) > 0 {
+		c.sendRERR(lost)
+	}
+}
+
+func (c *Core) sendRERR(lost []pkt.UnreachableDest) {
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Node < lost[j].Node })
+	p := pkt.NewRERR(c.Env.ID, lost, c.Env.Sim.Now())
+	c.Ctr.RERRSent++
+	c.Env.Mac.Send(p, pkt.Broadcast)
+}
+
+func (c *Core) sendHello() {
+	body := pkt.HelloBody{Load: c.OwnLoad()}
+	if c.Cfg.TwoHopHello {
+		body.NbrLoads = c.nbrs.Loads()
+	}
+	p := pkt.NewHello(c.Env.ID, body, c.Env.Sim.Now())
+	c.Ctr.HelloSent++
+	c.Env.Mac.Send(p, pkt.Broadcast)
+}
+
+func (c *Core) handleHello(p *pkt.Packet, from pkt.NodeID) {
+	c.Ctr.HelloHeard++
+	c.nbrs.Update(from, p.Hello.Load, p.Hello.NbrLoads)
+}
+
+func (c *Core) handleData(p *pkt.Packet, from pkt.NodeID) {
+	if p.Dst == c.Env.ID {
+		c.Ctr.DataDelivered++
+		c.tracef("data-deliver", "src=%v flow=%d seq=%d delay=%v", p.Src, p.FlowID, p.Seq, c.Env.Sim.Now()-p.CreatedAt)
+		if c.Env.Deliver != nil {
+			c.Env.Deliver(p, from)
+		}
+		return
+	}
+	if p.TTL <= 1 {
+		c.Ctr.DropTTL++
+		return
+	}
+	r := c.table.Lookup(p.Dst)
+	if r == nil {
+		c.Ctr.DropNoRoute++
+		c.tracef("data-drop", "no route to %v (flow=%d seq=%d)", p.Dst, p.FlowID, p.Seq)
+		c.sendRERR([]pkt.UnreachableDest{{Node: p.Dst, Seq: c.staleSeq(p.Dst)}})
+		return
+	}
+	p.TTL--
+	c.Ctr.DataForwarded++
+	c.forwardData(p, r)
+}
+
+// staleSeq returns the best-known (bumped) sequence number for an
+// unreachable destination.
+func (c *Core) staleSeq(dst pkt.NodeID) uint32 {
+	if r := c.table.Get(dst); r != nil && r.SeqValid {
+		return r.Seq + 1
+	}
+	return 0
+}
+
+// MacTxDone implements mac.Upper: unicast failures signal link breakage.
+func (c *Core) MacTxDone(p *pkt.Packet, dst pkt.NodeID, ok bool) {
+	if ok || dst == pkt.Broadcast {
+		return
+	}
+	// The link to dst is dead: purge routes through it and tell upstream.
+	lost := c.table.InvalidateVia(dst)
+	c.nbrs.Remove(dst)
+	c.tracef("link-fail", "neighbour=%v routesLost=%d kind=%v", dst, len(lost), p.Kind)
+
+	if p.Kind == pkt.Data {
+		if p.Src == c.Env.ID {
+			// We originated it: try to re-discover rather than lose it.
+			c.bufferAndDiscover(p)
+		} else {
+			c.Ctr.DropLinkFail++
+		}
+	}
+	if len(lost) > 0 {
+		c.sendRERR(lost)
+	}
+}

@@ -1,0 +1,89 @@
+// Package counter provides the counter-based broadcast-suppression
+// baseline (Ni et al.'s broadcast-storm countermeasure, as used in the
+// authors' MANET papers): on the first copy of a flood a node starts a
+// random assessment delay (RAD) and counts further copies it overhears;
+// when the RAD expires it rebroadcasts only if it heard fewer than C
+// copies — many copies imply the neighbourhood is already covered.
+package counter
+
+import (
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+	"clnlr/internal/routing"
+)
+
+// Params tune the counter-based scheme.
+type Params struct {
+	// C is the counter threshold: rebroadcast only if fewer than C copies
+	// were heard by the end of the assessment delay.
+	C int
+	// RADMax is the upper bound of the uniform random assessment delay.
+	RADMax des.Time
+}
+
+// DefaultParams returns the classic C=3 threshold with a 10 ms RAD.
+func DefaultParams() Params {
+	return Params{C: 3, RADMax: 10 * des.Millisecond}
+}
+
+type floodKey struct {
+	origin pkt.NodeID
+	id     uint32
+}
+
+// assessment is one in-progress RAD.
+type assessment struct {
+	count int
+	p     *pkt.Packet
+}
+
+// Policy implements the counter rule. One instance per node.
+type Policy struct {
+	params  Params
+	pending map[floodKey]*assessment
+}
+
+// Name implements routing.RREQPolicy.
+func (p *Policy) Name() string { return "counter" }
+
+// OnRREQ implements routing.RREQPolicy.
+func (p *Policy) OnRREQ(c *routing.Core, pk *pkt.Packet, from pkt.NodeID, first bool) {
+	k := floodKey{pk.RREQ.Origin, pk.RREQ.ID}
+	if !first {
+		if a, ok := p.pending[k]; ok {
+			a.count++
+		}
+		return
+	}
+	a := &assessment{count: 1, p: pk}
+	p.pending[k] = a
+	rad := des.Time(c.Env.Rng.Intn(int(p.params.RADMax) + 1))
+	c.Env.Sim.Schedule(rad, func() {
+		delete(p.pending, k)
+		if a.count < p.params.C {
+			c.ForwardRREQ(a.p, 0)
+		} else {
+			c.SuppressRREQ()
+		}
+	})
+}
+
+// CostIncrement implements routing.RREQPolicy: hop count.
+func (p *Policy) CostIncrement(*routing.Core) float64 { return 1 }
+
+// New builds a counter-based agent with shared default configuration.
+func New(env routing.Env, params Params) *routing.Core {
+	return NewWithConfig(env, routing.DefaultConfig(), params)
+}
+
+// NewWithConfig builds a counter-based agent with explicit shared
+// configuration.
+func NewWithConfig(env routing.Env, cfg routing.Config, params Params) *routing.Core {
+	cfg.ReplyWindow = 0
+	return routing.New(env, cfg, &Policy{
+		params:  params,
+		pending: make(map[floodKey]*assessment),
+	})
+}
+
+var _ routing.RREQPolicy = (*Policy)(nil)

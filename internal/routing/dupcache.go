@@ -1,0 +1,58 @@
+package routing
+
+import (
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+)
+
+// rreqKey identifies one flood: the pair (origin, RREQ ID).
+type rreqKey struct {
+	origin pkt.NodeID
+	id     uint32
+}
+
+// DupCache remembers recently seen RREQ floods so each node processes a
+// flood once. Entries expire after a fixed horizon; expired entries are
+// reaped opportunistically on insertion to keep memory bounded without a
+// timer per entry.
+type DupCache struct {
+	sim     *des.Sim
+	horizon des.Time
+	seen    map[rreqKey]des.Time
+	// reapAt is the next time a full sweep is worthwhile.
+	reapAt des.Time
+}
+
+// NewDupCache creates a cache whose entries live for horizon.
+func NewDupCache(sim *des.Sim, horizon des.Time) *DupCache {
+	return &DupCache{
+		sim:     sim,
+		horizon: horizon,
+		seen:    make(map[rreqKey]des.Time),
+		reapAt:  horizon,
+	}
+}
+
+// Seen records the flood and reports whether it had already been seen
+// (and not yet expired).
+func (d *DupCache) Seen(origin pkt.NodeID, id uint32) bool {
+	now := d.sim.Now()
+	k := rreqKey{origin, id}
+	if exp, ok := d.seen[k]; ok && exp > now {
+		return true
+	}
+	d.seen[k] = now + d.horizon
+	if now >= d.reapAt {
+		for key, exp := range d.seen {
+			if exp <= now {
+				delete(d.seen, key)
+			}
+		}
+		d.reapAt = now + d.horizon
+	}
+	return false
+}
+
+// Len returns the number of cached entries (including not-yet-reaped
+// expired ones); exposed for tests.
+func (d *DupCache) Len() int { return len(d.seen) }

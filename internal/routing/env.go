@@ -1,0 +1,98 @@
+// Package routing implements the on-demand (AODV-style) routing machinery
+// shared by every scheme in this repository: route table with sequence
+// numbers, RREQ duplicate cache, route discovery with retry, packet
+// buffering, RREP handling, link-failure detection and RERR propagation,
+// and the optional HELLO beaconing that carries cross-layer load
+// information.
+//
+// The schemes under comparison (flood/AODV, gossip, counter-based, and the
+// paper's CLNLR in internal/core) differ only in two pluggable points:
+//
+//   - RREQPolicy: whether/when to rebroadcast a received RREQ, and each
+//     node's additive contribution to the accumulated path cost;
+//   - Config.ReplyWindow: 0 for classic first-RREQ-wins replies, >0 for
+//     CLNLR's collect-and-reply-to-minimum-cost behaviour.
+//
+// Everything else is deliberately identical so experiment differences are
+// attributable to the scheme, not the plumbing.
+package routing
+
+import (
+	"clnlr/internal/des"
+	"clnlr/internal/mac"
+	"clnlr/internal/pkt"
+	"clnlr/internal/rng"
+	"clnlr/internal/trace"
+)
+
+// Env is the node-local environment handed to a routing agent.
+type Env struct {
+	Sim *des.Sim
+	Mac *mac.Mac
+	ID  pkt.NodeID
+	Rng *rng.Source
+	// Deliver receives data packets addressed to this node (the
+	// application sink). May be nil.
+	Deliver func(p *pkt.Packet, from pkt.NodeID)
+	// Trace, when non-nil, receives structured routing events (zero cost
+	// when nil).
+	Trace trace.Sink
+}
+
+// RREQPolicy is the per-scheme RREQ handling hook.
+type RREQPolicy interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// OnRREQ is invoked for every intact RREQ copy arriving at a node
+	// that is neither its origin nor its target, after reverse-route
+	// bookkeeping. first is true for the first copy of this flood seen
+	// here. The policy forwards by calling c.ForwardRREQ (immediately or
+	// from a later event it schedules).
+	OnRREQ(c *Core, p *pkt.Packet, from pkt.NodeID, first bool)
+	// CostIncrement is this node's additive contribution to the RREQ's
+	// accumulated path cost when it forwards (1 for load-blind schemes).
+	CostIncrement(c *Core) float64
+}
+
+// Counters tallies routing-layer events for the measurement harness.
+type Counters struct {
+	// Route-request traffic.
+	RREQOriginated uint64 // floods started (incl. retries)
+	RREQForwarded  uint64 // rebroadcasts submitted to the MAC
+	RREQReceived   uint64 // copies heard
+	RREQSuppressed uint64 // copies the policy chose not to forward
+
+	// Route-reply traffic.
+	RREPSent      uint64 // generated as destination
+	RREPForwarded uint64
+	RREPReceived  uint64
+
+	// Error and beacon traffic.
+	RERRSent     uint64
+	RERRReceived uint64
+	HelloSent    uint64
+	HelloHeard   uint64
+
+	// Data-plane accounting.
+	DataOriginated uint64
+	DataForwarded  uint64
+	DataDelivered  uint64
+
+	// Losses by cause.
+	DropNoRoute    uint64 // no route and discovery failed/buffer overflow
+	DropTTL        uint64
+	DropBufferFull uint64
+	DropLinkFail   uint64
+
+	// Discovery outcomes.
+	DiscoveriesStarted   uint64
+	DiscoveriesSucceeded uint64
+	DiscoveriesFailed    uint64
+}
+
+// ControlPacketsSent returns the total routing-control transmissions this
+// node submitted (the numerator of normalized routing overhead).
+func (c *Counters) ControlPacketsSent() uint64 {
+	return c.RREQOriginated + c.RREQForwarded +
+		c.RREPSent + c.RREPForwarded + c.RERRSent + c.HelloSent
+}

@@ -1,0 +1,97 @@
+package gossip
+
+import (
+	"math"
+
+	"clnlr/internal/pkt"
+	"clnlr/internal/routing"
+)
+
+// AdaptiveParams tune the density-adaptive gossip variant (in the spirit
+// of the authors' adaptive-broadcast papers): the rebroadcast probability
+// rises in sparse neighbourhoods and falls in dense ones, using the
+// HELLO-derived neighbour count — but, unlike CLNLR, it is blind to load.
+// Comparing it against CLNLR isolates how much of CLNLR's gain comes from
+// density adaptation alone versus the cross-layer load signal.
+type AdaptiveParams struct {
+	// PBase is the probability at the reference degree.
+	PBase float64
+	// PMin/PMax clamp the adapted probability.
+	PMin, PMax float64
+	// DegRef is the reference neighbour count; DensCap bounds the sparse
+	// boost (mirrors CLNLR's density term for comparability).
+	DegRef  int
+	DensCap float64
+}
+
+// DefaultAdaptiveParams mirrors CLNLR's density term with its PBase.
+func DefaultAdaptiveParams() AdaptiveParams {
+	return AdaptiveParams{PBase: 0.7, PMin: 0.4, PMax: 1.0, DegRef: 6, DensCap: 1.6}
+}
+
+// AdaptivePolicy implements density-adaptive gossip. One instance per node.
+type AdaptivePolicy struct {
+	params AdaptiveParams
+}
+
+// NewAdaptivePolicy builds the bare policy (useful for probing its
+// response curve without a full stack).
+func NewAdaptivePolicy(params AdaptiveParams) *AdaptivePolicy {
+	return &AdaptivePolicy{params: params}
+}
+
+// Name implements routing.RREQPolicy.
+func (p *AdaptivePolicy) Name() string { return "gossip-adaptive" }
+
+// Probability returns the density-adapted rebroadcast probability for a
+// given fresh-neighbour count (exposed for tests).
+func (p *AdaptivePolicy) Probability(neighbors int) float64 {
+	dens := p.params.DensCap
+	if neighbors > 0 {
+		dens = math.Sqrt(float64(p.params.DegRef) / float64(neighbors))
+		if dens > p.params.DensCap {
+			dens = p.params.DensCap
+		}
+	}
+	prob := p.params.PBase * dens
+	if prob < p.params.PMin {
+		prob = p.params.PMin
+	}
+	if prob > p.params.PMax {
+		prob = p.params.PMax
+	}
+	return prob
+}
+
+// OnRREQ implements routing.RREQPolicy.
+func (p *AdaptivePolicy) OnRREQ(c *routing.Core, pk *pkt.Packet, from pkt.NodeID, first bool) {
+	if !first {
+		return
+	}
+	if c.Env.Rng.Bool(p.Probability(c.Neighbors().Count())) {
+		c.ForwardRREQ(pk, 0)
+		return
+	}
+	c.SuppressRREQ()
+}
+
+// CostIncrement implements routing.RREQPolicy: hop count (load-blind).
+func (p *AdaptivePolicy) CostIncrement(*routing.Core) float64 { return 1 }
+
+// NewAdaptive builds a density-adaptive gossip agent. HELLO beacons are
+// enabled (without load piggybacking they still establish neighbour
+// counts) so the density estimate has data.
+func NewAdaptive(env routing.Env, params AdaptiveParams) *routing.Core {
+	return NewAdaptiveWithConfig(env, routing.DefaultConfig(), params)
+}
+
+// NewAdaptiveWithConfig builds a density-adaptive gossip agent with
+// explicit shared configuration.
+func NewAdaptiveWithConfig(env routing.Env, cfg routing.Config, params AdaptiveParams) *routing.Core {
+	cfg.ReplyWindow = 0
+	cfg.HelloEnabled = true
+	cfg.TwoHopHello = false
+	return routing.New(env, cfg, &AdaptivePolicy{params: params})
+}
+
+var _ routing.RREQPolicy = (*AdaptivePolicy)(nil)

@@ -1,0 +1,120 @@
+package routing
+
+import (
+	"sort"
+
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+)
+
+// neighborInfo is what a HELLO beacon taught us about one neighbour.
+type neighborInfo struct {
+	load      float64
+	lastHeard des.Time
+	// twoHop holds the neighbour's piggybacked 1-hop load table (only
+	// populated when two-hop HELLOs are enabled).
+	twoHop []pkt.NeighborLoad
+}
+
+// NeighborTable tracks HELLO-derived neighbourhood state: who is nearby
+// and how loaded their surroundings are. Entries go stale when beacons
+// stop arriving.
+type NeighborTable struct {
+	sim     *des.Sim
+	maxAge  des.Time
+	entries map[pkt.NodeID]*neighborInfo
+}
+
+// NewNeighborTable creates a table whose entries expire after maxAge.
+func NewNeighborTable(sim *des.Sim, maxAge des.Time) *NeighborTable {
+	return &NeighborTable{
+		sim:     sim,
+		maxAge:  maxAge,
+		entries: make(map[pkt.NodeID]*neighborInfo),
+	}
+}
+
+// Update records a received HELLO.
+func (nt *NeighborTable) Update(from pkt.NodeID, load float64, twoHop []pkt.NeighborLoad) {
+	e, ok := nt.entries[from]
+	if !ok {
+		e = &neighborInfo{}
+		nt.entries[from] = e
+	}
+	e.load = load
+	e.lastHeard = nt.sim.Now()
+	if twoHop != nil {
+		e.twoHop = append(e.twoHop[:0], twoHop...)
+	}
+}
+
+// Remove forgets a neighbour (e.g. after a link-layer failure toward it).
+func (nt *NeighborTable) Remove(id pkt.NodeID) { delete(nt.entries, id) }
+
+func (nt *NeighborTable) fresh(e *neighborInfo) bool {
+	return nt.sim.Now()-e.lastHeard <= nt.maxAge
+}
+
+// Count returns the number of fresh neighbours — the density estimate
+// CLNLR's forwarding probability adapts to.
+func (nt *NeighborTable) Count() int {
+	n := 0
+	for _, e := range nt.entries {
+		if nt.fresh(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// freshIDs returns the fresh neighbour IDs in ascending order. Sorted
+// iteration keeps floating-point accumulation (and therefore whole runs)
+// deterministic despite Go's randomised map order.
+func (nt *NeighborTable) freshIDs() []pkt.NodeID {
+	ids := make([]pkt.NodeID, 0, len(nt.entries))
+	for id, e := range nt.entries {
+		if nt.fresh(e) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Loads returns the fresh neighbours and their loads in ascending ID order
+// (for piggybacking into outgoing two-hop HELLOs).
+func (nt *NeighborTable) Loads() []pkt.NeighborLoad {
+	ids := nt.freshIDs()
+	out := make([]pkt.NeighborLoad, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, pkt.NeighborLoad{ID: id, Load: nt.entries[id].load})
+	}
+	return out
+}
+
+// NeighborhoodLoad returns the mean load over this node (ownLoad) and its
+// fresh neighbours; with twoHop it also averages in the neighbours'
+// piggybacked tables (excluding entries that refer back to self). The
+// result is the NL ∈ [0,1] figure at the heart of CLNLR.
+func (nt *NeighborTable) NeighborhoodLoad(self pkt.NodeID, ownLoad float64, twoHop bool) float64 {
+	sum := ownLoad
+	n := 1.0
+	for _, id := range nt.freshIDs() {
+		e := nt.entries[id]
+		sum += e.load
+		n++
+		if !twoHop {
+			continue
+		}
+		for _, nl := range e.twoHop {
+			if nl.ID == self || nl.ID == id {
+				continue
+			}
+			// Second-ring information is older and indirect: weight it
+			// half as much as first-ring measurements.
+			sum += 0.5 * nl.Load
+			n += 0.5
+		}
+	}
+	return sum / n
+}

@@ -1,0 +1,437 @@
+package routing_test
+
+import (
+	"testing"
+
+	"clnlr/internal/core"
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+	"clnlr/internal/mac"
+	"clnlr/internal/node"
+	"clnlr/internal/pkt"
+	"clnlr/internal/radio"
+	"clnlr/internal/rng"
+	"clnlr/internal/routing"
+	"clnlr/internal/routing/aodv"
+	"clnlr/internal/routing/counter"
+	"clnlr/internal/routing/gossip"
+	"clnlr/internal/trace"
+	"clnlr/internal/traffic"
+)
+
+// schemes returns a factory per scheme under test.
+func schemes() map[string]node.AgentFactory {
+	return map[string]node.AgentFactory{
+		"flood": aodv.New,
+		"gossip": func(env routing.Env) *routing.Core {
+			return gossip.New(env, gossip.DefaultParams())
+		},
+		"counter": func(env routing.Env) *routing.Core {
+			return counter.New(env, counter.DefaultParams())
+		},
+		"clnlr": func(env routing.Env) *routing.Core {
+			return core.New(env, core.DefaultParams())
+		},
+		"clnlr-2hop": func(env routing.Env) *routing.Core {
+			p := core.DefaultParams()
+			p.TwoHop = true
+			return core.New(env, p)
+		},
+	}
+}
+
+// buildNet assembles a network over the given positions.
+func buildNet(seed uint64, positions []geom.Point, factory node.AgentFactory) (*des.Sim, []*node.Node) {
+	sim := des.NewSim()
+	medium := radio.NewMedium(sim, radio.NewTwoRay(914e6, 1.5, 1.5))
+	master := rng.New(seed)
+	nodes := node.BuildNetwork(sim, medium, positions,
+		radio.DefaultParams(), mac.DefaultConfig(), master, factory)
+	node.StartAll(nodes)
+	return sim, nodes
+}
+
+func TestChainDeliveryAllSchemes(t *testing.T) {
+	positions := geom.ChainPlacement(geom.Point{X: 100, Y: 100}, 5, 200)
+	for name, factory := range schemes() {
+		t.Run(name, func(t *testing.T) {
+			sim, nodes := buildNet(11, positions, factory)
+			mgr := traffic.NewManager(sim, nodes, 30, 2*des.Second)
+			mgr.AddFlow(traffic.Flow{
+				ID: 0, Src: 0, Dst: 4, Payload: 512,
+				Interval: 250 * des.Millisecond, Start: des.Second,
+			}, rng.New(5))
+			sim.RunUntil(20 * des.Second)
+
+			fs := mgr.FlowStats(0)
+			if fs.Sent == 0 {
+				t.Fatal("no packets sent")
+			}
+			if fs.PDR() < 0.9 {
+				t.Fatalf("chain PDR %.2f (%d/%d) below 0.9", fs.PDR(), fs.Delivered, fs.Sent)
+			}
+			if fs.Delay.Mean() <= 0 {
+				t.Fatal("non-positive mean delay")
+			}
+			// A 4-hop path at 2 Mb/s must take at least 4 frame airtimes
+			// (~2.2 ms each) and realistically under a second.
+			if fs.Delay.Mean() < 0.008 || fs.Delay.Mean() > 1.0 {
+				t.Fatalf("implausible mean delay %.4fs", fs.Delay.Mean())
+			}
+			if nodes[0].Agent.Ctr.DiscoveriesSucceeded == 0 {
+				t.Fatal("source recorded no successful discovery")
+			}
+		})
+	}
+}
+
+func TestGridDeliveryAllSchemes(t *testing.T) {
+	positions := geom.GridPlacement(geom.Square(1000), 5, 5)
+	for name, factory := range schemes() {
+		t.Run(name, func(t *testing.T) {
+			sim, nodes := buildNet(23, positions, factory)
+			mgr := traffic.NewManager(sim, nodes, 30, 2*des.Second)
+			src := rng.New(99)
+			// Corner-to-corner plus two cross flows.
+			flows := []traffic.Flow{
+				{ID: 0, Src: 0, Dst: 24, Payload: 512, Interval: 500 * des.Millisecond, Start: des.Second},
+				{ID: 1, Src: 4, Dst: 20, Payload: 512, Interval: 500 * des.Millisecond, Start: des.Second},
+				{ID: 2, Src: 2, Dst: 22, Payload: 512, Interval: 500 * des.Millisecond, Start: des.Second},
+			}
+			for _, f := range flows {
+				mgr.AddFlow(f, src.Derive(uint64(f.ID)))
+			}
+			sim.RunUntil(25 * des.Second)
+
+			tot := mgr.Totals()
+			if tot.Sent == 0 {
+				t.Fatal("no traffic generated")
+			}
+			if tot.PDR() < 0.75 {
+				t.Fatalf("grid PDR %.2f (%d/%d) below 0.75", tot.PDR(), tot.Delivered, tot.Sent)
+			}
+			_ = nodes
+		})
+	}
+}
+
+func TestRREQOverheadOrdering(t *testing.T) {
+	// On the same scenario, flood must generate at least as many RREQ
+	// transmissions as the probabilistic schemes.
+	positions := geom.GridPlacement(geom.Square(1000), 6, 6)
+	overhead := map[string]uint64{}
+	for name, factory := range schemes() {
+		sim, nodes := buildNet(31, positions, factory)
+		mgr := traffic.NewManager(sim, nodes, 30, des.Second)
+		src := rng.New(7)
+		for i := 0; i < 4; i++ {
+			mgr.AddFlow(traffic.Flow{
+				ID: i, Src: pkt.NodeID(i), Dst: pkt.NodeID(35 - i),
+				Payload: 256, Interval: des.Second, Start: des.Second,
+			}, src.Derive(uint64(i)))
+		}
+		sim.RunUntil(20 * des.Second)
+		var rreqTx uint64
+		for _, n := range nodes {
+			rreqTx += n.Agent.Ctr.RREQOriginated + n.Agent.Ctr.RREQForwarded
+		}
+		overhead[name] = rreqTx
+	}
+	for _, probabilistic := range []string{"gossip", "clnlr", "clnlr-2hop"} {
+		if overhead[probabilistic] > overhead["flood"] {
+			t.Errorf("%s RREQ overhead %d exceeds flood %d",
+				probabilistic, overhead[probabilistic], overhead["flood"])
+		}
+	}
+	if overhead["flood"] == 0 {
+		t.Fatal("flood generated no RREQs")
+	}
+}
+
+func TestDiscoveryFailsAcrossPartition(t *testing.T) {
+	// Two islands: discovery must fail after the configured retries, and
+	// buffered packets must be dropped with DropNoRoute accounting.
+	positions := []geom.Point{{X: 0, Y: 0}, {X: 200, Y: 0}, {X: 3000, Y: 0}, {X: 3200, Y: 0}}
+	sim, nodes := buildNet(5, positions, aodv.New)
+	p := pkt.NewData(0, 3, 256, 0, 0, 0, 30)
+	sim.Schedule(des.Second, func() { nodes[0].Agent.Send(p) })
+	sim.RunUntil(30 * des.Second)
+
+	ctr := &nodes[0].Agent.Ctr
+	if ctr.DiscoveriesFailed != 1 {
+		t.Fatalf("DiscoveriesFailed = %d, want 1", ctr.DiscoveriesFailed)
+	}
+	if ctr.DropNoRoute != 1 {
+		t.Fatalf("DropNoRoute = %d, want 1", ctr.DropNoRoute)
+	}
+	// 1 original + RREQRetries re-floods.
+	want := uint64(1 + routing.DefaultConfig().RREQRetries)
+	if ctr.RREQOriginated != want {
+		t.Fatalf("RREQOriginated = %d, want %d", ctr.RREQOriginated, want)
+	}
+}
+
+func TestRouteReusedWithoutRediscovery(t *testing.T) {
+	positions := geom.ChainPlacement(geom.Point{}, 3, 200)
+	sim, nodes := buildNet(17, positions, aodv.New)
+	send := func(seq int) {
+		nodes[0].Agent.Send(pkt.NewData(0, 2, 256, 0, seq, sim.Now(), 30))
+	}
+	sim.Schedule(des.Second, func() { send(0) })
+	// Second packet while the route is warm: no new flood.
+	sim.Schedule(2*des.Second, func() { send(1) })
+	sim.RunUntil(5 * des.Second)
+	if nodes[0].Agent.Ctr.DiscoveriesStarted != 1 {
+		t.Fatalf("discoveries %d, want 1 (route should be cached)",
+			nodes[0].Agent.Ctr.DiscoveriesStarted)
+	}
+	if nodes[2].Agent.Ctr.DataDelivered != 2 {
+		t.Fatalf("delivered %d, want 2", nodes[2].Agent.Ctr.DataDelivered)
+	}
+}
+
+func TestFullStackDeterminism(t *testing.T) {
+	positions := geom.GridPlacement(geom.Square(1000), 5, 5)
+	run := func() (uint64, uint64, float64) {
+		sim, nodes := buildNet(123, positions, func(env routing.Env) *routing.Core {
+			return core.New(env, core.DefaultParams())
+		})
+		mgr := traffic.NewManager(sim, nodes, 30, des.Second)
+		src := rng.New(55)
+		for i := 0; i < 5; i++ {
+			mgr.AddFlow(traffic.Flow{
+				ID: i, Src: pkt.NodeID(i), Dst: pkt.NodeID(24 - i),
+				Payload: 512, Interval: 200 * des.Millisecond, Start: des.Second,
+			}, src.Derive(uint64(i)))
+		}
+		sim.RunUntil(15 * des.Second)
+		tot := mgr.Totals()
+		var ctl uint64
+		for _, n := range nodes {
+			ctl += n.Agent.Ctr.ControlPacketsSent()
+		}
+		return tot.Delivered, ctl, tot.Delay.Mean()
+	}
+	d1, c1, m1 := run()
+	d2, c2, m2 := run()
+	if d1 != d2 || c1 != c2 || m1 != m2 {
+		t.Fatalf("same-seed runs diverged: (%d,%d,%v) vs (%d,%d,%v)", d1, c1, m1, d2, c2, m2)
+	}
+	if d1 == 0 {
+		t.Fatal("determinism run delivered nothing")
+	}
+}
+
+func TestHelloBeaconsPopulateNeighborTables(t *testing.T) {
+	positions := geom.GridPlacement(geom.Square(600), 3, 3)
+	sim, nodes := buildNet(9, positions, func(env routing.Env) *routing.Core {
+		return core.New(env, core.DefaultParams())
+	})
+	sim.RunUntil(5 * des.Second)
+	// Centre node (index 4) must know all 8 neighbours (grid spacing
+	// 200 m, diagonal 283 m > 250 m → only 4 lattice neighbours).
+	n := nodes[4].Agent.Neighbors().Count()
+	if n != 4 {
+		t.Fatalf("centre node sees %d neighbours, want 4", n)
+	}
+	for _, nd := range nodes {
+		if nd.Agent.Ctr.HelloSent == 0 {
+			t.Fatalf("node %v sent no HELLOs", nd.ID)
+		}
+	}
+}
+
+func TestTTLPreventsInfiniteForwarding(t *testing.T) {
+	positions := geom.ChainPlacement(geom.Point{}, 4, 200)
+	sim, nodes := buildNet(13, positions, aodv.New)
+	// TTL 2 cannot cross 3 hops.
+	p := pkt.NewData(0, 3, 128, 0, 0, 0, 2)
+	sim.Schedule(des.Second, func() { nodes[0].Agent.Send(p) })
+	sim.RunUntil(10 * des.Second)
+	if nodes[3].Agent.Ctr.DataDelivered != 0 {
+		t.Fatal("packet crossed more hops than its TTL allows")
+	}
+	drops := nodes[1].Agent.Ctr.DropTTL + nodes[2].Agent.Ctr.DropTTL
+	if drops == 0 {
+		t.Fatal("no TTL drop recorded")
+	}
+}
+
+func TestTracingCapturesRoutingEvents(t *testing.T) {
+	positions := geom.ChainPlacement(geom.Point{}, 3, 200)
+	sim, nodes := buildNet(41, positions, aodv.New)
+	buf := trace.NewBuffer(1024)
+	for _, n := range nodes {
+		n.Agent.Env.Trace = buf
+	}
+	sim.Schedule(des.Second, func() {
+		nodes[0].Agent.Send(pkt.NewData(0, 2, 128, 0, 0, sim.Now(), 30))
+	})
+	sim.RunUntil(5 * des.Second)
+
+	if buf.Len() == 0 {
+		t.Fatal("no trace records captured")
+	}
+	if got := buf.Filter(-1, "routing", "rreq-originate"); len(got) != 1 {
+		t.Fatalf("rreq-originate records: %d", len(got))
+	}
+	if got := buf.Filter(2, "routing", "rrep-send"); len(got) != 1 {
+		t.Fatalf("rrep-send records at target: %d", len(got))
+	}
+	if got := buf.Filter(2, "routing", "data-deliver"); len(got) != 1 {
+		t.Fatalf("data-deliver records: %d", len(got))
+	}
+	if got := buf.Filter(0, "routing", "discovery-ok"); len(got) != 1 {
+		t.Fatalf("discovery-ok records: %d", len(got))
+	}
+}
+
+func TestExpandingRingSearch(t *testing.T) {
+	// Chain 0-1-2-3. With ring ladder [1,2], a 1-hop destination is found
+	// by the TTL-1 flood (no rebroadcasts at all); a 3-hop destination
+	// needs escalation through the ladder to the full-TTL flood.
+	positions := geom.ChainPlacement(geom.Point{}, 4, 200)
+	ers := func(env routing.Env) *routing.Core {
+		cfg := routing.DefaultConfig()
+		cfg.ExpandingRing = []int{1, 2}
+		return aodv.NewWithConfig(env, cfg)
+	}
+
+	t.Run("near destination found with TTL-1 flood", func(t *testing.T) {
+		sim, nodes := buildNet(3, positions, ers)
+		sim.Schedule(des.Second, func() {
+			nodes[0].Agent.Send(pkt.NewData(0, 1, 128, 0, 0, sim.Now(), 30))
+		})
+		sim.RunUntil(10 * des.Second)
+		if nodes[1].Agent.Ctr.DataDelivered != 1 {
+			t.Fatal("1-hop destination not reached")
+		}
+		if nodes[0].Agent.Ctr.RREQOriginated != 1 {
+			t.Fatalf("needed %d floods for a neighbour", nodes[0].Agent.Ctr.RREQOriginated)
+		}
+		var forwards uint64
+		for _, n := range nodes {
+			forwards += n.Agent.Ctr.RREQForwarded
+		}
+		if forwards != 0 {
+			t.Fatalf("TTL-1 ring flood was rebroadcast %d times", forwards)
+		}
+	})
+
+	t.Run("far destination escalates the ladder", func(t *testing.T) {
+		sim, nodes := buildNet(3, positions, ers)
+		sim.Schedule(des.Second, func() {
+			nodes[0].Agent.Send(pkt.NewData(0, 3, 128, 0, 0, sim.Now(), 30))
+		})
+		sim.RunUntil(15 * des.Second)
+		if nodes[3].Agent.Ctr.DataDelivered != 1 {
+			t.Fatal("3-hop destination not reached")
+		}
+		// TTL 1 fails, TTL 2 fails (reaches node 2 only... node 2's
+		// rebroadcast has TTL 1 at node 3? TTL 2: origin->1->2: node 2
+		// receives TTL 1 and cannot forward; target 3 unreached), then the
+		// full-TTL flood succeeds: 3 originations.
+		if got := nodes[0].Agent.Ctr.RREQOriginated; got != 3 {
+			t.Fatalf("originations %d, want 3 (two rings + full flood)", got)
+		}
+	})
+
+	t.Run("unreachable destination exhausts ladder plus retries", func(t *testing.T) {
+		sim, nodes := buildNet(3, positions, ers)
+		sim.Schedule(des.Second, func() {
+			nodes[0].Agent.Send(pkt.NewData(0, 99, 128, 0, 0, sim.Now(), 30))
+		})
+		_ = nodes
+		sim.RunUntil(30 * des.Second)
+		want := uint64(2 + 1 + routing.DefaultConfig().RREQRetries)
+		if got := nodes[0].Agent.Ctr.RREQOriginated; got != want {
+			t.Fatalf("originations %d, want %d", got, want)
+		}
+		if nodes[0].Agent.Ctr.DiscoveriesFailed != 1 {
+			t.Fatal("discovery should fail")
+		}
+	})
+}
+
+func TestLinkFailureTriggersRERRPropagation(t *testing.T) {
+	// Chain 0-1-2-3 with an active 0→3 flow. Node 3 then moves out of
+	// range: node 2's unicasts to it exhaust their retries, node 2 purges
+	// the route and broadcasts a RERR, node 1 propagates it, and node 0
+	// invalidates its route and re-attempts discovery (which now fails).
+	positions := geom.ChainPlacement(geom.Point{}, 4, 200)
+	sim, nodes := buildNet(29, positions, aodv.New)
+	seq := 0
+	feeder := des.NewTicker(sim, 200*des.Millisecond, func() {
+		nodes[0].Agent.Send(pkt.NewData(0, 3, 256, 0, seq, sim.Now(), 30))
+		seq++
+	})
+	feeder.Start(des.Second)
+	// Yank node 3 out of range at t=5s.
+	sim.Schedule(5*des.Second, func() {
+		nodes[3].Radio.SetPos(geom.Point{X: 10_000})
+	})
+	sim.RunUntil(20 * des.Second)
+
+	if nodes[3].Agent.Ctr.DataDelivered == 0 {
+		t.Fatal("no packets delivered before the break")
+	}
+	if nodes[2].Agent.Ctr.RERRSent == 0 {
+		t.Fatal("node adjacent to the break sent no RERR")
+	}
+	if nodes[1].Agent.Ctr.RERRReceived == 0 {
+		t.Fatal("upstream node heard no RERR")
+	}
+	if r := nodes[0].Agent.Table().Lookup(3); r != nil {
+		t.Fatalf("source still has a valid route to the vanished node: %+v", r)
+	}
+	if nodes[0].Agent.Ctr.DiscoveriesFailed == 0 {
+		t.Fatal("source never recorded a failed re-discovery")
+	}
+	// The source's own queued packets get re-buffered, then dropped when
+	// re-discovery fails.
+	if nodes[0].Agent.Ctr.DropNoRoute == 0 {
+		t.Fatal("no DropNoRoute recorded after the partition")
+	}
+}
+
+func TestIntermediateDropAndRERRWithoutRoute(t *testing.T) {
+	// A relay that loses its route mid-stream (expiry) sends a RERR for
+	// in-flight data instead of silently dropping. Build the situation by
+	// pausing the flow for longer than the route lifetime, then injecting
+	// one packet directly at the relay with the destination unreachable.
+	positions := geom.ChainPlacement(geom.Point{}, 3, 200)
+	sim, nodes := buildNet(31, positions, aodv.New)
+	sim.Schedule(des.Second, func() {
+		nodes[0].Agent.Send(pkt.NewData(0, 2, 256, 0, 0, sim.Now(), 30))
+	})
+	// Well after the route lifetime (5 s), hand node 1 a data packet for
+	// node 2 as if forwarded from node 0: its route has expired.
+	sim.Schedule(15*des.Second, func() {
+		nodes[1].Agent.MacReceive(pkt.NewData(0, 2, 256, 0, 1, sim.Now(), 30), 0)
+	})
+	sim.RunUntil(20 * des.Second)
+	if nodes[1].Agent.Ctr.DropNoRoute == 0 {
+		t.Fatal("relay with expired route recorded no DropNoRoute")
+	}
+	if nodes[1].Agent.Ctr.RERRSent == 0 {
+		t.Fatal("relay sent no RERR for the routeless packet")
+	}
+}
+
+func TestCoreAccessors(t *testing.T) {
+	sim, nodes := buildNet(37, geom.ChainPlacement(geom.Point{}, 2, 200), aodv.New)
+	_ = sim
+	a := nodes[0].Agent
+	if a.Policy().Name() != "flood" {
+		t.Fatalf("policy accessor %q", a.Policy().Name())
+	}
+	if a.Table() == nil || a.Table().Len() != 0 {
+		t.Fatal("fresh table should be empty")
+	}
+	if a.Neighbors() == nil {
+		t.Fatal("neighbour table accessor nil")
+	}
+	if load := a.OwnLoad(); load != 0 {
+		t.Fatalf("idle own load %v", load)
+	}
+}

@@ -1,0 +1,153 @@
+package routing
+
+import (
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+)
+
+// Route is one routing-table entry.
+type Route struct {
+	Dst      pkt.NodeID
+	NextHop  pkt.NodeID
+	HopCount int
+	// Cost is the load-aware path cost (equals HopCount for load-blind
+	// schemes).
+	Cost float64
+	// Seq is the destination sequence number; SeqValid is false for
+	// entries learned without one.
+	Seq      uint32
+	SeqValid bool
+	Expires  des.Time
+	Valid    bool
+}
+
+// Table is a per-node routing table with AODV freshness semantics.
+type Table struct {
+	sim    *des.Sim
+	routes map[pkt.NodeID]*Route
+}
+
+// NewTable returns an empty table bound to the simulation clock.
+func NewTable(sim *des.Sim) *Table {
+	return &Table{sim: sim, routes: make(map[pkt.NodeID]*Route)}
+}
+
+// Lookup returns the valid, unexpired route to dst, or nil.
+func (t *Table) Lookup(dst pkt.NodeID) *Route {
+	r, ok := t.routes[dst]
+	if !ok || !r.Valid {
+		return nil
+	}
+	if r.Expires <= t.sim.Now() {
+		r.Valid = false
+		return nil
+	}
+	return r
+}
+
+// Get returns the entry for dst even if invalid or expired (for sequence
+// number bookkeeping), or nil if none was ever installed.
+func (t *Table) Get(dst pkt.NodeID) *Route {
+	return t.routes[dst]
+}
+
+// Update installs cand if it is fresher or better than the current entry,
+// per AODV rules: a newer destination sequence number always wins; an
+// equal sequence number wins on lower cost, then lower hop count; an entry
+// without sequence information never displaces one with it, but refreshes
+// an invalid entry. Returns true if the table changed.
+func (t *Table) Update(cand Route) bool {
+	cur, ok := t.routes[cand.Dst]
+	if !ok {
+		c := cand
+		t.routes[cand.Dst] = &c
+		return true
+	}
+	if t.better(cand, cur) {
+		// Preserve the highest sequence number ever seen.
+		if cur.SeqValid && !cand.SeqValid {
+			cand.Seq, cand.SeqValid = cur.Seq, true
+		}
+		*cur = cand
+		return true
+	}
+	// Refresh lifetime of an identical route.
+	if cur.Valid && cand.Valid && cur.NextHop == cand.NextHop && cand.Expires > cur.Expires {
+		cur.Expires = cand.Expires
+		return true
+	}
+	return false
+}
+
+// better reports whether cand should replace cur.
+func (t *Table) better(cand Route, cur *Route) bool {
+	if !cur.Valid || cur.Expires <= t.sim.Now() {
+		return true
+	}
+	switch {
+	case cand.SeqValid && cur.SeqValid:
+		if pkt.SeqNewer(cand.Seq, cur.Seq) {
+			return true
+		}
+		if cand.Seq != cur.Seq {
+			return false
+		}
+	case !cand.SeqValid && cur.SeqValid:
+		return false
+	case cand.SeqValid && !cur.SeqValid:
+		return true
+	}
+	// Same freshness: compare quality.
+	const eps = 1e-9
+	if cand.Cost < cur.Cost-eps {
+		return true
+	}
+	if cand.Cost > cur.Cost+eps {
+		return false
+	}
+	return cand.HopCount < cur.HopCount
+}
+
+// Refresh extends the lifetime of an active route (called when the route
+// carries data).
+func (t *Table) Refresh(dst pkt.NodeID, lifetime des.Time) {
+	if r := t.Lookup(dst); r != nil {
+		if e := t.sim.Now() + lifetime; e > r.Expires {
+			r.Expires = e
+		}
+	}
+}
+
+// Invalidate marks the route to dst broken and returns it (nil if there
+// was no valid route). The sequence number is bumped so stale copies of
+// the dead route cannot be re-installed.
+func (t *Table) Invalidate(dst pkt.NodeID) *Route {
+	r, ok := t.routes[dst]
+	if !ok || !r.Valid {
+		return nil
+	}
+	r.Valid = false
+	if r.SeqValid {
+		r.Seq++
+	}
+	return r
+}
+
+// InvalidateVia invalidates every valid route whose next hop is via and
+// returns the affected destinations with their (bumped) sequence numbers.
+func (t *Table) InvalidateVia(via pkt.NodeID) []pkt.UnreachableDest {
+	var lost []pkt.UnreachableDest
+	for dst, r := range t.routes {
+		if r.Valid && r.NextHop == via {
+			r.Valid = false
+			if r.SeqValid {
+				r.Seq++
+			}
+			lost = append(lost, pkt.UnreachableDest{Node: dst, Seq: r.Seq})
+		}
+	}
+	return lost
+}
+
+// Len returns the number of entries (valid or not).
+func (t *Table) Len() int { return len(t.routes) }

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadScenario reads a scenario from a JSON file. The file is an overlay:
+// fields it omits keep their DefaultScenario values, so a config can be as
+// small as {"Scheme":"clnlr","PacketRate":8}. Durations are nanoseconds
+// (des.Time's underlying representation).
+func LoadScenario(path string) (Scenario, error) {
+	sc := DefaultScenario()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sc, fmt.Errorf("sim: reading scenario: %w", err)
+	}
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return sc, fmt.Errorf("sim: parsing scenario %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return sc, fmt.Errorf("sim: scenario %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// SaveScenario writes the scenario as indented JSON, suitable as a
+// starting point for hand editing.
+func SaveScenario(path string, sc Scenario) error {
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sim: encoding scenario: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("sim: writing scenario: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clnlr/internal/stats"
+)
+
+// RunReplications executes reps independent replications of sc (seeds
+// sc.Seed, sc.Seed+1, …) across a bounded worker pool and returns the
+// results in seed order. workers ≤ 0 selects GOMAXPROCS. Each replication
+// owns its entire simulation state, so the fan-out is embarrassingly
+// parallel; only the slot in the pre-sized result slice is shared.
+func RunReplications(sc Scenario, reps, workers int) ([]Result, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("sim: non-positive replication count %d", reps)
+	}
+	results := make([]Result, reps)
+	errs := make([]error, reps)
+	parallelFor(reps, workers, func(i int) {
+		s := sc
+		s.Seed = sc.Seed + uint64(i)
+		results[i], errs[i] = Run(s)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// parallelFor runs fn(0..n-1) across a bounded worker pool. workers ≤ 0
+// selects GOMAXPROCS. Each index owns its slot in any result slice, so no
+// further synchronisation is needed by callers.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Metric extracts one scalar from a Result (for summarising replications).
+type Metric func(Result) float64
+
+// Standard metrics used by the figure harness.
+var (
+	MetricPDR          Metric = func(r Result) float64 { return r.PDR }
+	MetricDelayMs      Metric = func(r Result) float64 { return r.MeanDelaySec * 1000 }
+	MetricThroughput   Metric = func(r Result) float64 { return r.ThroughputKbps }
+	MetricRREQTx       Metric = func(r Result) float64 { return float64(r.RREQTx) }
+	MetricRREQPerDisc  Metric = func(r Result) float64 { return r.RREQPerDiscovery }
+	MetricNormOverhead Metric = func(r Result) float64 { return r.NormOverhead }
+	MetricDiscovery    Metric = func(r Result) float64 { return r.DiscoveryRate }
+	MetricForwardStd   Metric = func(r Result) float64 { return r.ForwardStd }
+	MetricForwardMax   Metric = func(r Result) float64 { return r.ForwardMaxRatio }
+)
+
+// Summarize reduces a replication set to mean ± 95% CI for one metric.
+func Summarize(results []Result, m Metric) stats.Summary {
+	xs := make([]float64, len(results))
+	for i, r := range results {
+		xs[i] = m(r)
+	}
+	return stats.Summarize(xs)
+}
+
+// Energy and fairness metrics.
+var (
+	MetricEnergyMean Metric = func(r Result) float64 { return r.EnergyMeanJ }
+	MetricEnergyMax  Metric = func(r Result) float64 { return r.EnergyMaxJ }
+	MetricFairness   Metric = func(r Result) float64 { return r.FlowFairness }
+	MetricDelayP95Ms Metric = func(r Result) float64 { return r.DelayP95Sec * 1000 }
+)
+
+// RunToPrecision runs replications in batches until the 95% confidence
+// half-width of metric m falls below relTarget·|mean| (relative precision),
+// bounded by [minReps, maxReps]. It returns all results plus the final
+// summary. This is the sequential-stopping methodology for choosing the
+// replication count empirically instead of fixing it in advance.
+func RunToPrecision(sc Scenario, m Metric, relTarget float64, minReps, maxReps, workers int) ([]Result, stats.Summary, error) {
+	if relTarget <= 0 {
+		return nil, stats.Summary{}, fmt.Errorf("sim: non-positive precision target")
+	}
+	if minReps < 2 || maxReps < minReps {
+		return nil, stats.Summary{}, fmt.Errorf("sim: need 2 ≤ minReps ≤ maxReps")
+	}
+	batch := workers
+	if batch <= 0 {
+		batch = runtime.GOMAXPROCS(0)
+	}
+	var results []Result
+	runBatch := func(n int) error {
+		s := sc
+		s.Seed = sc.Seed + uint64(len(results))
+		rs, err := RunReplications(s, n, workers)
+		if err != nil {
+			return err
+		}
+		results = append(results, rs...)
+		return nil
+	}
+	if err := runBatch(minReps); err != nil {
+		return nil, stats.Summary{}, err
+	}
+	for {
+		sum := Summarize(results, m)
+		mean := sum.Mean
+		if mean < 0 {
+			mean = -mean
+		}
+		if (mean > 0 && sum.CI95 <= relTarget*mean) || len(results) >= maxReps {
+			return results, sum, nil
+		}
+		n := batch
+		if len(results)+n > maxReps {
+			n = maxReps - len(results)
+		}
+		if err := runBatch(n); err != nil {
+			return nil, stats.Summary{}, err
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+	"clnlr/internal/mac"
+	"clnlr/internal/mobility"
+	"clnlr/internal/node"
+	"clnlr/internal/pkt"
+	"clnlr/internal/radio"
+	"clnlr/internal/rng"
+	"clnlr/internal/routing"
+	"clnlr/internal/stats"
+	"clnlr/internal/topo"
+	"clnlr/internal/trace"
+	"clnlr/internal/traffic"
+)
+
+// Result holds one run's measured metrics (post-warm-up).
+type Result struct {
+	Scheme Scheme
+	Seed   uint64
+	Nodes  int
+
+	// Data plane.
+	Sent           uint64
+	Delivered      uint64
+	PDR            float64
+	MeanDelaySec   float64
+	ThroughputKbps float64
+
+	// Control plane.
+	RREQTx           uint64  // RREQ transmissions (originations + forwards)
+	ControlTx        uint64  // all routing control transmissions
+	RREQPerDiscovery float64 // RREQ transmissions per discovery started
+	NormOverhead     float64 // control transmissions per delivered data packet
+	DiscoveryRate    float64 // discoveries succeeded / started (1 if none started)
+
+	// Load balance of the forwarding burden across nodes.
+	ForwardMean     float64
+	ForwardStd      float64
+	ForwardMaxRatio float64 // max node forwards / mean forwards
+
+	// MAC-level losses.
+	MACQueueDrops uint64
+	MACRetryDrops uint64
+
+	// Energy consumed during the measurement window (Joules).
+	EnergyMeanJ float64
+	EnergyMaxJ  float64
+
+	// FlowFairness is Jain's index over per-flow delivery ratios.
+	FlowFairness float64
+
+	// DelayP95Sec is the 95th-percentile end-to-end delay.
+	DelayP95Sec float64
+}
+
+// snapshot captures cumulative counters at the warm-up boundary so the
+// measurement window can be isolated.
+type snapshot struct {
+	routing []routing.Counters
+	mac     []mac.Counters
+	joules  []float64
+}
+
+func takeSnapshot(nodes []*node.Node) snapshot {
+	s := snapshot{
+		routing: make([]routing.Counters, len(nodes)),
+		mac:     make([]mac.Counters, len(nodes)),
+		joules:  make([]float64, len(nodes)),
+	}
+	for i, n := range nodes {
+		s.routing[i] = n.Agent.Ctr
+		s.mac[i] = n.Mac.Ctr
+		s.joules[i] = n.Mac.Energy().Joules
+	}
+	return s
+}
+
+// Run executes one simulation of the scenario and returns its metrics.
+func Run(sc Scenario) (Result, error) {
+	return RunTraced(sc, nil)
+}
+
+// RunTraced is Run with an optional trace sink attached to every node's
+// routing agent (nil behaves exactly like Run). Tracing a full run is
+// heavy; prefer it for debugging single scenarios, not sweeps.
+func RunTraced(sc Scenario, sink trace.Sink) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	master := rng.New(sc.Seed)
+
+	positions, tp, err := place(sc, master)
+	if err != nil {
+		return Result{}, err
+	}
+
+	simk := des.NewSim()
+	medium := radio.NewMedium(simk, sc.propagation())
+	nodes := node.BuildNetwork(simk, medium, positions, sc.Radio, sc.Mac,
+		master.Derive(1000), sc.agentFactory())
+	if sink != nil {
+		for _, n := range nodes {
+			n.Agent.Env.Trace = sink
+		}
+	}
+	node.StartAll(nodes)
+	attachMobility(sc, simk, nodes, master)
+
+	mgr := traffic.NewManager(simk, nodes, sc.Routing.TTL, sc.Warmup)
+	flows, err := pickFlows(sc, tp, master.Derive(2000))
+	if err != nil {
+		return Result{}, err
+	}
+	flowRng := master.Derive(3000)
+	for _, f := range flows {
+		mgr.AddFlow(f, flowRng.Derive(uint64(f.ID)))
+	}
+
+	// Isolate the measurement window for cumulative counters.
+	var warm snapshot
+	simk.At(sc.Warmup, func() { warm = takeSnapshot(nodes) })
+	end := sc.Warmup + sc.Measure
+	simk.RunUntil(end)
+
+	return extract(sc, nodes, mgr, warm), nil
+}
+
+// attachMobility starts a random-waypoint model over the nodes when the
+// scenario requests one.
+func attachMobility(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.Source) {
+	if sc.MobilitySpeed <= 0 {
+		return
+	}
+	cfg := mobility.DefaultConfig(sc.MobilitySpeed)
+	if sc.MobilityPause > 0 {
+		cfg.Pause = sc.MobilityPause
+	}
+	w := mobility.NewWaypoint(simk, geom.Square(sc.AreaM), cfg)
+	moveRng := master.Derive(5000)
+	for i, n := range nodes {
+		r := n.Radio
+		w.Track(n.Pos, r.SetPos, moveRng.Derive(uint64(i)))
+	}
+	w.Start()
+}
+
+// place generates node positions per the scenario topology. Random
+// placements are re-drawn (with derived seeds) until connected.
+func place(sc Scenario, master *rng.Source) ([]geom.Point, *topo.Topology, error) {
+	region := geom.Square(sc.AreaM)
+	build := func(try uint64) []geom.Point {
+		src := master.Derive(100, try)
+		switch sc.Topology {
+		case TopoPerturbedGrid:
+			return geom.PerturbedGridPlacement(region, sc.Rows, sc.Cols, sc.PerturbFrac, src)
+		case TopoRandom:
+			return geom.UniformPlacement(region, sc.Nodes, src)
+		default:
+			return geom.GridPlacement(region, sc.Rows, sc.Cols)
+		}
+	}
+	// The connectivity check must use the same propagation as the medium
+	// (at t=0; fading models are evaluated in their first coherence slot).
+	check := func(pts []geom.Point) *topo.Topology {
+		s := des.NewSim()
+		m := radio.NewMedium(s, sc.propagation())
+		for _, p := range pts {
+			m.Attach(p, sc.Radio)
+		}
+		return topo.FromMedium(m, pts)
+	}
+	const maxTries = 50
+	for try := uint64(0); try < maxTries; try++ {
+		pts := build(try)
+		tp := check(pts)
+		if tp.Connected() {
+			return pts, tp, nil
+		}
+		if sc.Topology != TopoRandom && sc.Topology != TopoPerturbedGrid {
+			return nil, nil, fmt.Errorf("sim: %s placement is disconnected", sc.Topology)
+		}
+	}
+	return nil, nil, fmt.Errorf("sim: no connected %s placement found in %d tries", sc.Topology, maxTries)
+}
+
+// pickEndpoints draws a (src, dst) pair at least MinHopDist hops apart.
+// With Gateway set, dst is pinned to the node nearest the region centre.
+func pickEndpoints(sc Scenario, tp *topo.Topology, src *rng.Source, gateway pkt.NodeID) (pkt.NodeID, pkt.NodeID, error) {
+	n := tp.N()
+	for attempt := 0; attempt < 1000; attempt++ {
+		s := pkt.NodeID(src.Intn(n))
+		d := gateway
+		if !sc.Gateway {
+			d = pkt.NodeID(src.Intn(n))
+		}
+		if s == d {
+			continue
+		}
+		if tp.HopDist(s)[d] < sc.MinHopDist {
+			continue
+		}
+		return s, d, nil
+	}
+	return 0, 0, fmt.Errorf("sim: cannot find endpoints %d hops apart", sc.MinHopDist)
+}
+
+// pickFlows builds the workload. Without SessionTime each flow slot is one
+// immortal flow; with it, each slot is a train of back-to-back sessions
+// with freshly drawn endpoints, staggered across slots so discoveries are
+// spread over the run.
+func pickFlows(sc Scenario, tp *topo.Topology, src *rng.Source) ([]traffic.Flow, error) {
+	interval := des.FromSeconds(1 / sc.PacketRate)
+	var gateway pkt.NodeID
+	if sc.Gateway {
+		gateway = centreNode(tp)
+	}
+	end := sc.Warmup + sc.Measure
+	var flows []traffic.Flow
+	id := 0
+	for slot := 0; slot < sc.Flows; slot++ {
+		if sc.SessionTime <= 0 {
+			s, d, err := pickEndpoints(sc, tp, src, gateway)
+			if err != nil {
+				return nil, err
+			}
+			flows = append(flows, traffic.Flow{
+				ID: id, Src: s, Dst: d,
+				Payload:  sc.PayloadBytes,
+				Interval: interval,
+				Poisson:  sc.Poisson,
+				Start:    sc.TrafficStart,
+			})
+			id++
+			continue
+		}
+		// Stagger slot starts across one session so the discovery load is
+		// spread in time rather than synchronised.
+		start := sc.TrafficStart + sc.SessionTime*des.Time(slot)/des.Time(sc.Flows)
+		for t := start; t < end; t += sc.SessionTime {
+			s, d, err := pickEndpoints(sc, tp, src, gateway)
+			if err != nil {
+				return nil, err
+			}
+			flows = append(flows, traffic.Flow{
+				ID: id, Src: s, Dst: d,
+				Payload:  sc.PayloadBytes,
+				Interval: interval,
+				Poisson:  sc.Poisson,
+				Start:    t,
+				Stop:     t + sc.SessionTime,
+			})
+			id++
+		}
+	}
+	return flows, nil
+}
+
+// centreNode returns the node closest to the deployment centre.
+func centreNode(tp *topo.Topology) pkt.NodeID {
+	var cx, cy float64
+	for _, p := range tp.Positions {
+		cx += p.X
+		cy += p.Y
+	}
+	c := geom.Point{X: cx / float64(tp.N()), Y: cy / float64(tp.N())}
+	best := 0
+	bestD := math.Inf(1)
+	for i, p := range tp.Positions {
+		if d := p.Dist2(c); d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return pkt.NodeID(best)
+}
+
+// extract computes the Result from post-run state minus the warm-up
+// snapshot.
+func extract(sc Scenario, nodes []*node.Node, mgr *traffic.Manager, warm snapshot) Result {
+	tot := mgr.Totals()
+	r := Result{
+		Scheme:    sc.Scheme,
+		Seed:      sc.Seed,
+		Nodes:     len(nodes),
+		Sent:      tot.Sent,
+		Delivered: tot.Delivered,
+	}
+	if tot.Sent > 0 {
+		r.PDR = float64(tot.Delivered) / float64(tot.Sent)
+	}
+	r.MeanDelaySec = tot.Delay.Mean()
+	r.ThroughputKbps = float64(tot.Bytes) * 8 / 1000 / sc.Measure.Seconds()
+	r.FlowFairness = mgr.JainFairness()
+	r.DelayP95Sec = mgr.DelayQuantile(0.95)
+
+	var started, succeeded uint64
+	var fw, en stats.Welford
+	maxFw, maxJ := 0.0, 0.0
+	for i, n := range nodes {
+		c := n.Agent.Ctr
+		w := warm.routing[i]
+		r.RREQTx += (c.RREQOriginated - w.RREQOriginated) + (c.RREQForwarded - w.RREQForwarded)
+		r.ControlTx += c.ControlPacketsSent() - w.ControlPacketsSent()
+		started += c.DiscoveriesStarted - w.DiscoveriesStarted
+		succeeded += c.DiscoveriesSucceeded - w.DiscoveriesSucceeded
+
+		f := float64(c.DataForwarded - w.DataForwarded)
+		fw.Add(f)
+		if f > maxFw {
+			maxFw = f
+		}
+
+		mc := n.Mac.Ctr
+		mw := warm.mac[i]
+		r.MACQueueDrops += mc.DroppedQueueFull - mw.DroppedQueueFull
+		r.MACRetryDrops += mc.DroppedRetryLimit - mw.DroppedRetryLimit
+
+		j := n.Mac.Energy().Joules - warm.joules[i]
+		en.Add(j)
+		if j > maxJ {
+			maxJ = j
+		}
+	}
+	if started > 0 {
+		r.RREQPerDiscovery = float64(r.RREQTx) / float64(started)
+		r.DiscoveryRate = float64(succeeded) / float64(started)
+	} else {
+		r.DiscoveryRate = 1
+	}
+	if tot.Delivered > 0 {
+		r.NormOverhead = float64(r.ControlTx) / float64(tot.Delivered)
+	} else {
+		r.NormOverhead = float64(r.ControlTx)
+	}
+	r.EnergyMeanJ = en.Mean()
+	r.EnergyMaxJ = maxJ
+	r.ForwardMean = fw.Mean()
+	r.ForwardStd = fw.Std()
+	if fw.Mean() > 0 {
+		r.ForwardMaxRatio = maxFw / fw.Mean()
+	}
+	return r
+}

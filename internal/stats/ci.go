@@ -1,0 +1,50 @@
+package stats
+
+import "math"
+
+// tTable holds two-sided 95% Student-t critical values for small degrees
+// of freedom; beyond the table the normal approximation (1.96) is close
+// enough for reporting purposes.
+var tTable = []float64{
+	0,                                                             // df 0 (unused)
+	12.706,                                                        // 1
+	4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2-10
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11-20
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21-30
+}
+
+// tCrit95 returns the two-sided 95% critical value for df degrees of
+// freedom.
+func tCrit95(df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(tTable) {
+		return tTable[df]
+	}
+	return 1.96
+}
+
+// Summary describes a set of replication results: the sample mean and the
+// half-width of its 95% confidence interval.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	CI95 float64 // half-width; the interval is Mean ± CI95
+}
+
+// Summarize computes the replication summary of xs. With fewer than two
+// samples the CI half-width is 0 (a single run has no dispersion
+// estimate), matching how single-replication smoke tests are reported.
+func Summarize(xs []float64) Summary {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	s := Summary{N: len(xs), Mean: w.Mean(), Std: w.Std()}
+	if len(xs) >= 2 {
+		s.CI95 = tCrit95(len(xs)-1) * w.Std() / math.Sqrt(float64(len(xs)))
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+// Package stats provides the statistical accumulators used by the
+// simulator's measurement layer and by the replication harness.
+//
+// Everything here is deliberately dependency-free and allocation-light:
+// accumulators are updated on the simulator's hot path (per packet, per
+// queue transition), so they use streaming algorithms (Welford for
+// moments, piecewise integration for time-weighted gauges) rather than
+// retaining samples.
+package stats
+
+import "math"
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm),
+// numerically stable for long runs. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples added.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 if no samples were added.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (n-1 denominator), or 0 for
+// fewer than two samples.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Merge combines another accumulator into w (Chan et al. parallel
+// variant), used when aggregating per-node accumulators into a run total.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// TimeWeighted integrates a piecewise-constant signal over time, yielding
+// its time average — the correct way to average queue length or channel
+// occupancy. Times are int64 nanoseconds (the des.Time representation).
+// The zero value starts integrating from t=0 at value 0; use Reset to
+// start from a different origin (e.g. after warm-up).
+type TimeWeighted struct {
+	lastT    int64
+	lastV    float64
+	integral float64
+	startT   int64
+	maxV     float64
+	started  bool
+}
+
+// Reset restarts integration at time t with the current value v.
+func (tw *TimeWeighted) Reset(t int64, v float64) {
+	tw.lastT, tw.lastV = t, v
+	tw.integral = 0
+	tw.startT = t
+	tw.maxV = v
+	tw.started = true
+}
+
+// Set records that the signal changed to v at time t. Calls must have
+// non-decreasing t.
+func (tw *TimeWeighted) Set(t int64, v float64) {
+	if !tw.started {
+		tw.Reset(t, v)
+		return
+	}
+	if t > tw.lastT {
+		tw.integral += tw.lastV * float64(t-tw.lastT)
+		tw.lastT = t
+	}
+	tw.lastV = v
+	if v > tw.maxV {
+		tw.maxV = v
+	}
+}
+
+// Value returns the current value of the signal.
+func (tw *TimeWeighted) Value() float64 { return tw.lastV }
+
+// Max returns the maximum value observed since the last Reset.
+func (tw *TimeWeighted) Max() float64 { return tw.maxV }
+
+// Avg returns the time average over [start, t]. If no time has elapsed it
+// returns the current value.
+func (tw *TimeWeighted) Avg(t int64) float64 {
+	if !tw.started || t <= tw.startT {
+		return tw.lastV
+	}
+	integral := tw.integral
+	if t > tw.lastT {
+		integral += tw.lastV * float64(t-tw.lastT)
+	}
+	return integral / float64(t-tw.startT)
+}
+
+// Histogram counts samples into fixed-width bins over [lo, hi); samples
+// outside the range land in the under/overflow counters.
+type Histogram struct {
+	lo, hi float64
+	width  float64
+	bins   []int64
+	under  int64
+	over   int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with n equal bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), bins: make([]int64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.bins) { // guard FP edge at hi
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the number of samples recorded (including out-of-range).
+func (h *Histogram) Count() int64 { return h.total }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins returns the number of in-range bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
+
+// Quantile returns an approximation of the q-quantile (0≤q≤1) assuming
+// samples are uniform within bins. Out-of-range mass is attributed to the
+// range boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.bins {
+		if cum+float64(c) >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum += float64(c)
+	}
+	return h.hi
+}

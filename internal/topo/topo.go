@@ -1,0 +1,127 @@
+// Package topo derives connectivity structure from node placements and
+// the radio model: neighbour lists, connectivity checks and hop-distance
+// maps. The experiment harness uses it to reject disconnected random
+// placements and to pick multi-hop flow endpoints.
+package topo
+
+import (
+	"clnlr/internal/geom"
+	"clnlr/internal/pkt"
+	"clnlr/internal/radio"
+)
+
+// Topology is the connectivity graph over a set of placed nodes.
+type Topology struct {
+	Positions []geom.Point
+	// Neighbors[i] lists the nodes whose transmissions node i can decode
+	// (interference-free). Symmetric for symmetric propagation models.
+	Neighbors [][]pkt.NodeID
+}
+
+// FromMedium builds the graph using the medium's own propagation model and
+// thresholds, so the routing layer's notion of "link" matches the channel.
+func FromMedium(m *radio.Medium, positions []geom.Point) *Topology {
+	n := m.NumRadios()
+	t := &Topology{
+		Positions: positions,
+		Neighbors: make([][]pkt.NodeID, n),
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && m.InRange(i, j) {
+				t.Neighbors[j] = append(t.Neighbors[j], pkt.NodeID(i))
+			}
+		}
+	}
+	return t
+}
+
+// FromRange builds the graph with a fixed communication radius (unit-disk
+// model), useful for tests and analytic sanity checks.
+func FromRange(positions []geom.Point, rangeM float64) *Topology {
+	n := len(positions)
+	t := &Topology{
+		Positions: positions,
+		Neighbors: make([][]pkt.NodeID, n),
+	}
+	r2 := rangeM * rangeM
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if positions[i].Dist2(positions[j]) <= r2 {
+				t.Neighbors[i] = append(t.Neighbors[i], pkt.NodeID(j))
+				t.Neighbors[j] = append(t.Neighbors[j], pkt.NodeID(i))
+			}
+		}
+	}
+	return t
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return len(t.Neighbors) }
+
+// Degree returns node i's neighbour count.
+func (t *Topology) Degree(i pkt.NodeID) int { return len(t.Neighbors[i]) }
+
+// AvgDegree returns the mean neighbour count.
+func (t *Topology) AvgDegree() float64 {
+	if t.N() == 0 {
+		return 0
+	}
+	total := 0
+	for _, nbrs := range t.Neighbors {
+		total += len(nbrs)
+	}
+	return float64(total) / float64(t.N())
+}
+
+// HopDist returns BFS hop distances from the given node; unreachable nodes
+// get -1.
+func (t *Topology) HopDist(from pkt.NodeID) []int {
+	dist := make([]int, t.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[from] = 0
+	queue := []pkt.NodeID{from}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.Neighbors[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether every node is reachable from node 0.
+func (t *Topology) Connected() bool {
+	if t.N() == 0 {
+		return true
+	}
+	for _, d := range t.HopDist(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the longest shortest-path hop count in the graph, or
+// -1 if the graph is disconnected.
+func (t *Topology) Diameter() int {
+	max := 0
+	for i := 0; i < t.N(); i++ {
+		for _, d := range t.HopDist(pkt.NodeID(i)) {
+			if d == -1 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

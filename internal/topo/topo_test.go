@@ -1,0 +1,117 @@
+package topo
+
+import (
+	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+	"clnlr/internal/pkt"
+	"clnlr/internal/radio"
+)
+
+func TestFromRangeChain(t *testing.T) {
+	pts := geom.ChainPlacement(geom.Point{}, 5, 200)
+	tp := FromRange(pts, 250)
+	if tp.N() != 5 {
+		t.Fatalf("N = %d", tp.N())
+	}
+	// Inner nodes have 2 neighbours, ends have 1.
+	wantDeg := []int{1, 2, 2, 2, 1}
+	for i, w := range wantDeg {
+		if tp.Degree(pkt.NodeID(i)) != w {
+			t.Fatalf("degree[%d] = %d, want %d", i, tp.Degree(pkt.NodeID(i)), w)
+		}
+	}
+	if !tp.Connected() {
+		t.Fatal("chain should be connected")
+	}
+	if d := tp.Diameter(); d != 4 {
+		t.Fatalf("diameter %d, want 4", d)
+	}
+	dist := tp.HopDist(0)
+	for i, d := range dist {
+		if d != i {
+			t.Fatalf("hop dist to %d = %d", i, d)
+		}
+	}
+}
+
+func TestFromRangeDisconnected(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 1000}, {X: 1100}}
+	tp := FromRange(pts, 250)
+	if tp.Connected() {
+		t.Fatal("gap topology reported connected")
+	}
+	if tp.Diameter() != -1 {
+		t.Fatal("diameter of disconnected graph should be -1")
+	}
+	d := tp.HopDist(0)
+	if d[1] != 1 || d[2] != -1 || d[3] != -1 {
+		t.Fatalf("hop dist %v", d)
+	}
+}
+
+func TestFromRangeSymmetric(t *testing.T) {
+	pts := geom.GridPlacement(geom.Square(700), 5, 5)
+	tp := FromRange(pts, 150)
+	for i, nbrs := range tp.Neighbors {
+		for _, j := range nbrs {
+			found := false
+			for _, k := range tp.Neighbors[j] {
+				if k == pkt.NodeID(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric link %d -> %v", i, j)
+			}
+		}
+	}
+}
+
+func TestFromMediumMatchesRadioRange(t *testing.T) {
+	sim := des.NewSim()
+	m := radio.NewMedium(sim, radio.NewTwoRay(914e6, 1.5, 1.5))
+	pts := []geom.Point{{X: 0}, {X: 200}, {X: 480}}
+	for _, p := range pts {
+		m.Attach(p, radio.DefaultParams())
+	}
+	tp := FromMedium(m, pts)
+	// 0-1 in range (200 m), 1-2 in range (280 m? no: 280 > 250).
+	if tp.Degree(0) != 1 {
+		t.Fatalf("degree(0) = %d, want 1 (only node 1 within 250 m)", tp.Degree(0))
+	}
+	// Node 2 sits 280 m from node 1 — out of decode range.
+	if tp.Degree(2) != 0 {
+		t.Fatalf("degree(2) = %d, want 0", tp.Degree(2))
+	}
+}
+
+func TestGrid7x7Connectivity(t *testing.T) {
+	// The default experiment layout: 7×7 grid over 1000 m with ~143 m
+	// spacing — each interior node sees its 4 lattice neighbours plus
+	// diagonals (202 m < 250 m).
+	pts := geom.GridPlacement(geom.Square(1000), 7, 7)
+	tp := FromRange(pts, 250)
+	if !tp.Connected() {
+		t.Fatal("7x7 grid disconnected")
+	}
+	if tp.AvgDegree() < 4 {
+		t.Fatalf("avg degree %.2f unexpectedly low", tp.AvgDegree())
+	}
+	// Corner node: 2 lattice + 1 diagonal = 3 neighbours.
+	if tp.Degree(0) != 3 {
+		t.Fatalf("corner degree %d, want 3", tp.Degree(0))
+	}
+}
+
+func TestEmptyTopology(t *testing.T) {
+	tp := FromRange(nil, 100)
+	if !tp.Connected() {
+		t.Fatal("empty graph should be vacuously connected")
+	}
+	if tp.AvgDegree() != 0 {
+		t.Fatal("empty graph degree")
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+)
+
+// ReadNDJSON parses a stream of newline-delimited trace records (the
+// format WriteNDJSON and `meshsim -trace` produce). Blank lines are
+// skipped; malformed lines abort with a line-numbered error.
+func ReadNDJSON(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// Summary aggregates a record set for reporting.
+type Summary struct {
+	Records     int
+	Start, End  des.Time
+	ByEvent     map[string]int
+	ByNode      map[pkt.NodeID]int
+	BusiestNode pkt.NodeID
+}
+
+// Summarize computes aggregate statistics over records.
+func Summarize(records []Record) Summary {
+	s := Summary{
+		ByEvent: make(map[string]int),
+		ByNode:  make(map[pkt.NodeID]int),
+	}
+	s.Records = len(records)
+	if len(records) == 0 {
+		return s
+	}
+	s.Start, s.End = records[0].T, records[0].T
+	for _, r := range records {
+		if r.T < s.Start {
+			s.Start = r.T
+		}
+		if r.T > s.End {
+			s.End = r.T
+		}
+		s.ByEvent[r.Event]++
+		s.ByNode[r.Node]++
+	}
+	best, bestN := pkt.NodeID(0), -1
+	for id, n := range s.ByNode {
+		if n > bestN || (n == bestN && id < best) {
+			best, bestN = id, n
+		}
+	}
+	s.BusiestNode = best
+	return s
+}
+
+// Format renders the summary as aligned text.
+func (s Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d records spanning %v – %v (%.3f s)\n",
+		s.Records, s.Start, s.End, (s.End - s.Start).Seconds())
+	if s.Records == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "busiest node: %v (%d records)\n\n", s.BusiestNode, s.ByNode[s.BusiestNode])
+	events := make([]string, 0, len(s.ByEvent))
+	for e := range s.ByEvent {
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if s.ByEvent[events[i]] != s.ByEvent[events[j]] {
+			return s.ByEvent[events[i]] > s.ByEvent[events[j]]
+		}
+		return events[i] < events[j]
+	})
+	fmt.Fprintf(&b, "%-24s %8s\n", "event", "count")
+	for _, e := range events {
+		fmt.Fprintf(&b, "%-24s %8d\n", e, s.ByEvent[e])
+	}
+	return b.String()
+}

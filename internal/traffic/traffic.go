@@ -1,0 +1,235 @@
+// Package traffic generates application workloads (CBR and Poisson flows)
+// and measures their delivery at sinks: packet delivery ratio, end-to-end
+// delay and throughput, with warm-up filtering.
+package traffic
+
+import (
+	"fmt"
+
+	"clnlr/internal/des"
+	"clnlr/internal/node"
+	"clnlr/internal/pkt"
+	"clnlr/internal/rng"
+	"clnlr/internal/stats"
+)
+
+// Flow describes one unidirectional application flow.
+type Flow struct {
+	ID      int
+	Src     pkt.NodeID
+	Dst     pkt.NodeID
+	Payload int // bytes per packet
+	// Interval is the mean inter-packet gap; with Poisson=false packets
+	// are strictly periodic (CBR), otherwise exponentially spaced.
+	Interval des.Time
+	Poisson  bool
+	// Start/Stop bound the flow's active period (Stop 0 = run forever).
+	Start, Stop des.Time
+}
+
+// String renders a compact description.
+func (f Flow) String() string {
+	kind := "cbr"
+	if f.Poisson {
+		kind = "poisson"
+	}
+	return fmt.Sprintf("flow%d %v->%v %s %dB/%v", f.ID, f.Src, f.Dst, kind, f.Payload, f.Interval)
+}
+
+// FlowStats aggregates one flow's measured behaviour (post-warm-up).
+type FlowStats struct {
+	Sent      uint64
+	Delivered uint64
+	// Delay accumulates end-to-end delays in seconds.
+	Delay stats.Welford
+	// Bytes counts delivered payload bytes.
+	Bytes uint64
+}
+
+// PDR returns the packet delivery ratio.
+func (fs *FlowStats) PDR() float64 {
+	if fs.Sent == 0 {
+		return 0
+	}
+	return float64(fs.Delivered) / float64(fs.Sent)
+}
+
+// Manager drives a set of flows over a built network and collects their
+// statistics. Packets created before measureFrom are excluded from Sent,
+// Delivered and Delay (standard warm-up discipline).
+type Manager struct {
+	sim         *des.Sim
+	nodes       []*node.Node
+	ttl         int
+	measureFrom des.Time
+	flows       []Flow
+	stats       []*FlowStats
+	uid         uint64
+	// delayHist collects all end-to-end delays (seconds) across flows for
+	// quantile reporting; mean/variance live in the per-flow Welfords.
+	delayHist *stats.Histogram
+}
+
+// NewManager creates a traffic manager over the given nodes. ttl is the
+// initial hop limit for data packets; measureFrom the warm-up boundary.
+func NewManager(sim *des.Sim, nodes []*node.Node, ttl int, measureFrom des.Time) *Manager {
+	return &Manager{
+		sim: sim, nodes: nodes, ttl: ttl, measureFrom: measureFrom,
+		// 10 ms bins over [0, 10 s): ample for any plausible delay; later
+		// arrivals land in the overflow bucket and pin quantiles at 10 s.
+		delayHist: stats.NewHistogram(0, 10, 1000),
+	}
+}
+
+// AddFlow installs a flow and its sink. src must differ from dst. The
+// flow's random stream (Poisson gaps, start phase) derives from rngSrc.
+func (m *Manager) AddFlow(f Flow, rngSrc *rng.Source) {
+	if f.Src == f.Dst {
+		panic("traffic: flow with identical endpoints")
+	}
+	if f.Interval <= 0 {
+		panic("traffic: flow with non-positive interval")
+	}
+	fs := &FlowStats{}
+	for len(m.stats) <= f.ID {
+		m.stats = append(m.stats, nil)
+	}
+	if m.stats[f.ID] != nil {
+		panic(fmt.Sprintf("traffic: duplicate flow ID %d", f.ID))
+	}
+	m.stats[f.ID] = fs
+	m.flows = append(m.flows, f)
+
+	src := m.nodes[f.Src]
+	m.ensureSink(m.nodes[f.Dst])
+
+	seq := 0
+	var emit func()
+	schedule := func() {
+		gap := f.Interval
+		if f.Poisson {
+			gap = des.Time(rngSrc.Exp(float64(f.Interval)))
+			if gap <= 0 {
+				gap = 1
+			}
+		}
+		m.sim.Schedule(gap, emit)
+	}
+	emit = func() {
+		now := m.sim.Now()
+		if f.Stop > 0 && now >= f.Stop {
+			return
+		}
+		m.uid++
+		p := pkt.NewData(f.Src, f.Dst, f.Payload, f.ID, seq, now, m.ttl)
+		p.UID = m.uid
+		seq++
+		if now >= m.measureFrom {
+			fs.Sent++
+		}
+		src.Agent.Send(p)
+		schedule()
+	}
+	// Desynchronise flow start within one interval.
+	start := f.Start + des.Time(rngSrc.Intn(int(f.Interval)))
+	m.sim.At(start, emit)
+}
+
+// ensureSink installs (once per node) a delivery hook that records
+// arriving packets into their flow's stats.
+func (m *Manager) ensureSink(n *node.Node) {
+	if n.Agent.Env.Deliver != nil {
+		return
+	}
+	n.SetDeliver(func(p *pkt.Packet, from pkt.NodeID) {
+		if p.Kind != pkt.Data || p.CreatedAt < m.measureFrom {
+			return
+		}
+		if p.FlowID >= len(m.stats) || m.stats[p.FlowID] == nil {
+			return
+		}
+		fs := m.stats[p.FlowID]
+		fs.Delivered++
+		fs.Bytes += uint64(p.Bytes)
+		d := (m.sim.Now() - p.CreatedAt).Seconds()
+		fs.Delay.Add(d)
+		m.delayHist.Add(d)
+	})
+}
+
+// AddProbe schedules a single data packet from src to dst at time `at` and
+// tracks it under its own flow ID (Sent=1; Delivered/Delay filled if and
+// when it arrives). Probes drive the discovery-round experiments, where
+// each probe forces one route discovery.
+func (m *Manager) AddProbe(id int, src, dst pkt.NodeID, payload int, at des.Time) {
+	if src == dst {
+		panic("traffic: probe with identical endpoints")
+	}
+	fs := &FlowStats{}
+	for len(m.stats) <= id {
+		m.stats = append(m.stats, nil)
+	}
+	if m.stats[id] != nil {
+		panic(fmt.Sprintf("traffic: duplicate flow ID %d", id))
+	}
+	m.stats[id] = fs
+	m.ensureSink(m.nodes[dst])
+	srcNode := m.nodes[src]
+	m.sim.At(at, func() {
+		m.uid++
+		p := pkt.NewData(src, dst, payload, id, 0, m.sim.Now(), m.ttl)
+		p.UID = m.uid
+		if m.sim.Now() >= m.measureFrom {
+			fs.Sent++
+		}
+		srcNode.Agent.Send(p)
+	})
+}
+
+// Flows returns the installed flow descriptions.
+func (m *Manager) Flows() []Flow { return m.flows }
+
+// FlowStats returns flow f's statistics.
+func (m *Manager) FlowStats(f int) *FlowStats { return m.stats[f] }
+
+// DelayQuantile returns the q-quantile of all measured end-to-end delays
+// in seconds (e.g. 0.95 for the p95 delay papers report alongside means).
+func (m *Manager) DelayQuantile(q float64) float64 {
+	return m.delayHist.Quantile(q)
+}
+
+// JainFairness returns Jain's fairness index over per-flow delivery
+// ratios: (Σx)² / (n·Σx²), 1 when all flows fare equally, → 1/n when one
+// flow monopolises. Flows that sent nothing are excluded.
+func (m *Manager) JainFairness() float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, fs := range m.stats {
+		if fs == nil || fs.Sent == 0 {
+			continue
+		}
+		x := fs.PDR()
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Totals aggregates all flows.
+func (m *Manager) Totals() FlowStats {
+	var t FlowStats
+	for _, fs := range m.stats {
+		if fs == nil {
+			continue
+		}
+		t.Sent += fs.Sent
+		t.Delivered += fs.Delivered
+		t.Bytes += fs.Bytes
+		t.Delay.Merge(fs.Delay)
+	}
+	return t
+}
