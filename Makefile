@@ -1,0 +1,26 @@
+# Developer entry points. `make verify` is the full pre-merge gate: build,
+# vet, every test, the race detector over the concurrency-bearing packages,
+# and a one-iteration smoke of the benchmark suite.
+
+GO ?= go
+
+.PHONY: verify build test race bench-smoke bench
+
+verify: build test race bench-smoke
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim ./internal/des
+
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x .
+
+# Full throughput numbers (compare against BENCH_PR1.json).
+bench:
+	$(GO) test -run NONE -bench 'BenchmarkSimulatorThroughput' -benchtime 10x .

@@ -176,12 +176,10 @@ func BenchmarkFigR10Mobility(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorThroughput measures raw simulator speed: one default
-// scenario run per iteration, reporting simulated-seconds per wall-second.
-func BenchmarkSimulatorThroughput(b *testing.B) {
-	sc := sim.DefaultScenario()
-	sc.Measure = 30 * des.Second
-	sc.SessionTime = 10 * des.Second
+// benchThroughput runs one scenario per iteration and reports
+// simulated-seconds per wall-second.
+func benchThroughput(b *testing.B, sc sim.Scenario) {
+	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc.Seed = uint64(i + 1)
@@ -191,4 +189,26 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	simSeconds := (sc.Warmup + sc.Measure).Seconds() * float64(b.N)
 	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed on the default
+// 49-node scenario.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	sc := sim.DefaultScenario()
+	sc.Measure = 30 * des.Second
+	sc.SessionTime = 10 * des.Second
+	benchThroughput(b, sc)
+}
+
+// BenchmarkSimulatorThroughputLargeN scales the deployment to a 15×15 grid
+// (225 nodes) at Table R-1 node spacing, the regime where the O(N) portions
+// of the hot path (receiver scans, gain cache) dominate.
+func BenchmarkSimulatorThroughputLargeN(b *testing.B) {
+	sc := sim.DefaultScenario()
+	sc.Rows, sc.Cols = 15, 15
+	sc.AreaM = 15 * (1000.0 / 7)
+	sc.Flows = 20
+	sc.Measure = 10 * des.Second
+	sc.SessionTime = 10 * des.Second
+	benchThroughput(b, sc)
 }

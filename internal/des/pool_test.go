@@ -1,0 +1,72 @@
+package des
+
+import "testing"
+
+// A handle whose event has fired must not be able to cancel a later event
+// that reuses the same pooled node.
+func TestStaleCancelDoesNotHitRecycledNode(t *testing.T) {
+	s := NewSim()
+	first := s.Schedule(Second, func() {})
+	s.Run()
+	if !first.Fired() {
+		t.Fatal("first event did not fire")
+	}
+	// The next Schedule reuses the node first's handle still points at.
+	fired := false
+	second := s.Schedule(Second, func() { fired = true })
+	first.Cancel() // stale: must be a no-op
+	if second.Canceled() {
+		t.Fatal("stale Cancel cancelled the recycled node's new event")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("second event did not fire after stale Cancel")
+	}
+}
+
+// A cancelled-and-reaped node is also recycled; its stale handle must be
+// inert too.
+func TestStaleHandleAfterCancelReap(t *testing.T) {
+	s := NewSim()
+	victim := s.Schedule(Second, func() { t.Fatal("cancelled event fired") })
+	victim.Cancel()
+	s.Run() // reaps and recycles the cancelled node
+	fired := false
+	s.Schedule(Second, func() { fired = true })
+	victim.Cancel() // stale
+	s.Run()
+	if !fired {
+		t.Fatal("event reusing a cancel-reaped node did not fire")
+	}
+}
+
+// The zero Event is valid to operate on.
+func TestZeroEventIsInert(t *testing.T) {
+	var e Event
+	e.Cancel()
+	if e.Valid() || e.Fired() || e.Canceled() || e.Time() != 0 {
+		t.Fatalf("zero Event not inert: %+v", e)
+	}
+}
+
+// Steady-state event churn must not allocate: the free list feeds every
+// Schedule once the first wave of nodes has fired.
+func TestEventChurnDoesNotAllocate(t *testing.T) {
+	s := NewSim()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 10_000 {
+			s.Schedule(Microsecond, step)
+		}
+	}
+	s.Schedule(Microsecond, step)
+	allocs := testing.AllocsPerRun(1, func() { s.Run() })
+	if allocs > 1 {
+		t.Fatalf("event churn allocated %.0f objects per run, want ≈0", allocs)
+	}
+	if n != 10_000 {
+		t.Fatalf("chain executed %d events, want 10000", n)
+	}
+}

@@ -7,6 +7,13 @@
 // with the deterministic RNG streams in internal/rng — makes whole runs
 // bit-reproducible.
 //
+// Event storage is pooled: the node backing a fired (or cancelled and
+// reaped) event returns to a per-Sim free list and is reused by later
+// Schedule/At calls, so the steady-state event churn of a long run does
+// not allocate. Handles returned to callers are small values carrying a
+// generation stamp, which makes operations on a handle whose event has
+// already completed safe no-ops even after the node has been reused.
+//
 // A single Sim is strictly single-goroutine: handlers run inline from Run
 // and may freely schedule or cancel further events. Parallelism in this
 // project happens one level up (independent replications fan out across a
@@ -14,55 +21,61 @@
 // locks and atomic operations.
 package des
 
-import "container/heap"
-
-// Event is a scheduled callback handle. Handles may be retained after the
-// event fires; Cancel on a fired event is a harmless no-op. The zero Event
-// is not valid; events are created by Sim.Schedule and Sim.At.
-type Event struct {
+// eventNode is the pooled storage behind an Event handle. gen increments
+// each time the node is recycled, invalidating outstanding handles.
+type eventNode struct {
 	at       Time
 	seq      uint64
+	gen      uint64
 	fn       func()
 	canceled bool
 	fired    bool
 }
 
+// Event is a scheduled callback handle. It is a small value: copy it
+// freely, store it in structs, compare it to the zero Event. The zero
+// Event refers to no event; all its methods are safe no-ops. Handles may
+// be retained after the event completes; once the event has fired (or its
+// cancellation has been reaped) the handle is stale — Cancel is a no-op,
+// Fired reports true and Canceled reports false.
+type Event struct {
+	n   *eventNode
+	gen uint64
+	at  Time
+}
+
+// Valid reports whether the handle refers to an event (fired, pending or
+// cancelled) as opposed to the zero Event.
+func (e Event) Valid() bool { return e.n != nil }
+
 // Time returns the instant the event is (or was) scheduled for.
-func (e *Event) Time() Time { return e.at }
+func (e Event) Time() Time { return e.at }
+
+// live reports whether the handle still addresses its original node.
+func (e Event) live() bool { return e.n != nil && e.n.gen == e.gen }
 
 // Cancel prevents the event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op. Cancel must only be called
-// from the simulation goroutine.
-func (e *Event) Cancel() {
-	if !e.fired {
-		e.canceled = true
+// already fired or been cancelled — or the zero Event — is a no-op.
+// Cancel must only be called from the simulation goroutine.
+func (e Event) Cancel() {
+	if e.live() && !e.n.fired {
+		e.n.canceled = true
 	}
 }
 
-// Canceled reports whether the event was cancelled before firing.
-func (e *Event) Canceled() bool { return e.canceled }
+// Canceled reports whether the event is cancelled and not yet reaped.
+func (e Event) Canceled() bool { return e.live() && e.n.canceled }
 
-// Fired reports whether the event's handler has run.
-func (e *Event) Fired() bool { return e.fired }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Fired reports whether the event's handler has run (conservatively true
+// once the handle is stale, i.e. the event completed either way).
+func (e Event) Fired() bool {
+	if e.n == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	if e.n.gen != e.gen {
+		return true
+	}
+	return e.n.fired
 }
 
 const maxTime = Time(int64(^uint64(0) >> 1))
@@ -71,14 +84,15 @@ const maxTime = Time(int64(^uint64(0) >> 1))
 type Sim struct {
 	now      Time
 	seq      uint64
-	events   eventHeap
+	events   []*eventNode // binary min-heap on (at, seq)
+	free     []*eventNode // recycled nodes
 	stopped  bool
 	executed uint64
 }
 
 // NewSim returns an empty simulation positioned at time zero.
 func NewSim() *Sim {
-	return &Sim{events: make(eventHeap, 0, 1024)}
+	return &Sim{events: make([]*eventNode, 0, 1024)}
 }
 
 // Now returns the current simulated time.
@@ -94,7 +108,7 @@ func (s *Sim) Executed() uint64 { return s.executed }
 // Schedule queues fn to run delay after the current time and returns a
 // handle that can cancel it. A negative delay is treated as zero (the
 // event fires "now", after currently queued same-time events).
-func (s *Sim) Schedule(delay Time, fn func()) *Event {
+func (s *Sim) Schedule(delay Time, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -104,17 +118,35 @@ func (s *Sim) Schedule(delay Time, fn func()) *Event {
 // At queues fn to run at absolute time t. Scheduling in the past is an
 // error in simulation logic; the kernel clamps it to "now" to preserve the
 // monotonic clock rather than corrupting the event order.
-func (s *Sim) At(t Time, fn func()) *Event {
+func (s *Sim) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("des: At called with nil handler")
 	}
 	if t < s.now {
 		t = s.now
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
+	var n *eventNode
+	if k := len(s.free); k > 0 {
+		n = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		n = &eventNode{}
+	}
+	n.at, n.seq, n.fn = t, s.seq, fn
 	s.seq++
-	heap.Push(&s.events, ev)
-	return ev
+	s.push(n)
+	return Event{n: n, gen: n.gen, at: t}
+}
+
+// recycle invalidates outstanding handles to n and returns its storage to
+// the free list.
+func (s *Sim) recycle(n *eventNode) {
+	n.gen++
+	n.fn = nil
+	n.canceled = false
+	n.fired = false
+	s.free = append(s.free, n)
 }
 
 // Stop makes Run return after the currently executing handler finishes.
@@ -135,19 +167,69 @@ func (s *Sim) RunUntil(horizon Time) {
 			s.now = horizon
 			return
 		}
-		heap.Pop(&s.events)
+		s.pop()
 		if next.canceled {
-			next.fn = nil
+			s.recycle(next)
 			continue
 		}
 		s.now = next.at
 		fn := next.fn
-		next.fn = nil
 		next.fired = true
+		s.recycle(next)
 		fn()
 		s.executed++
 	}
 	if len(s.events) == 0 && s.now < horizon && horizon != maxTime {
 		s.now = horizon
 	}
+}
+
+// --- event heap (inlined binary heap; grows in place, no interface hops) ---
+
+// less orders events by (time, insertion sequence).
+func eventLess(a, b *eventNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Sim) push(n *eventNode) {
+	h := append(s.events, n)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.events = h
+}
+
+// pop removes the minimum (s.events[0]) from the heap.
+func (s *Sim) pop() {
+	h := s.events
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			j = r
+		}
+		if !eventLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	s.events = h
 }

@@ -72,19 +72,19 @@ func TestCancel(t *testing.T) {
 	fired := false
 	ev := s.Schedule(Second, func() { fired = true })
 	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() is false after Cancel")
+	}
 	s.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
-	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() is false after Cancel")
 	}
 }
 
 func TestCancelFromHandler(t *testing.T) {
 	s := NewSim()
 	fired := false
-	var victim *Event
+	var victim Event
 	s.Schedule(Second, func() { victim.Cancel() })
 	victim = s.Schedule(2*Second, func() { fired = true })
 	s.Run()
@@ -235,7 +235,7 @@ func TestQuickCancelConsistency(t *testing.T) {
 		s := NewSim()
 		count := int(n%50) + 1
 		firedMask := make([]bool, count)
-		events := make([]*Event, count)
+		events := make([]Event, count)
 		for i := 0; i < count; i++ {
 			i := i
 			events[i] = s.Schedule(Time(src.Intn(1000))*Millisecond, func() {

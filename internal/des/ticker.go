@@ -8,7 +8,8 @@ type Ticker struct {
 	period  Time
 	jitter  func() Time // extra offset added to each tick; may be nil
 	fn      func()
-	ev      *Event
+	tickFn  func() // t.tick bound once so rescheduling does not allocate
+	ev      Event
 	stopped bool
 }
 
@@ -19,7 +20,9 @@ func NewTicker(sim *Sim, period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic("des: NewTicker with non-positive period")
 	}
-	return &Ticker{sim: sim, period: period, fn: fn}
+	t := &Ticker{sim: sim, period: period, fn: fn}
+	t.tickFn = t.tick
+	return t
 }
 
 // WithJitter installs a jitter function whose result is added to each
@@ -39,10 +42,8 @@ func (t *Ticker) Start(initial Time) {
 // Stop cancels any pending tick. The ticker can be restarted with Start.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.ev.Cancel()
+	t.ev = Event{}
 }
 
 func (t *Ticker) schedule(delay Time) {
@@ -52,7 +53,7 @@ func (t *Ticker) schedule(delay Time) {
 	if delay < 0 {
 		delay = 0
 	}
-	t.ev = t.sim.Schedule(delay, t.tick)
+	t.ev = t.sim.Schedule(delay, t.tickFn)
 }
 
 func (t *Ticker) tick() {

@@ -60,6 +60,7 @@ func (f Figure) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
 	xs, schemes := f.axes()
+	idx := f.index()
 	for _, metric := range f.Metrics {
 		fmt.Fprintf(&b, "\n  %s (mean ± 95%% CI)\n", metric)
 		fmt.Fprintf(&b, "  %12s", f.XLabel)
@@ -70,7 +71,7 @@ func (f Figure) Table() string {
 		for _, x := range xs {
 			fmt.Fprintf(&b, "  %12g", x)
 			for _, s := range schemes {
-				if v, ok := f.lookup(x, s, metric); ok {
+				if v, ok := idx.lookup(x, s, metric); ok {
 					fmt.Fprintf(&b, " %13.3f ±%7.3f", v.Mean, v.CI95)
 				} else {
 					fmt.Fprintf(&b, " %22s", "—")
@@ -104,11 +105,12 @@ func (f Figure) CSV() string {
 // string if the metric has no points).
 func (f Figure) Chart(metric string) string {
 	xs, schemes := f.axes()
+	idx := f.index()
 	var series []plot.Series
 	for _, scheme := range schemes {
 		s := plot.Series{Name: scheme}
 		for _, x := range xs {
-			if v, ok := f.lookup(x, scheme, metric); ok {
+			if v, ok := idx.lookup(x, scheme, metric); ok {
 				s.X = append(s.X, x)
 				s.Y = append(s.Y, v.Mean)
 			}
@@ -151,23 +153,57 @@ func (f Figure) axes() ([]float64, []string) {
 	for s := range sset {
 		schemes = append(schemes, s)
 	}
-	// Present in canonical order, not alphabetical.
+	// Present in canonical order, not alphabetical. Labels outside the
+	// canonical scheme list (e.g. F-R8's ablation variants) sort after it,
+	// by name, so column order never depends on map iteration.
 	order := map[string]int{}
 	for i, s := range sim.AllSchemes() {
 		order[string(s)] = i
 	}
-	sort.Slice(schemes, func(i, j int) bool { return order[schemes[i]] < order[schemes[j]] })
+	rank := func(s string) int {
+		if r, ok := order[s]; ok {
+			return r
+		}
+		return len(order)
+	}
+	sort.Slice(schemes, func(i, j int) bool {
+		ri, rj := rank(schemes[i]), rank(schemes[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return schemes[i] < schemes[j]
+	})
 	return xs, schemes
 }
 
-func (f Figure) lookup(x float64, scheme, metric string) (stats.Summary, bool) {
+// pointKey addresses one (x, scheme) cell of a figure.
+type pointKey struct {
+	x      float64
+	scheme string
+}
+
+// pointIndex is a map over a figure's points, built once per render so
+// cell lookups cost O(1) instead of a linear scan over Points for every
+// (x, scheme, metric) combination.
+type pointIndex map[pointKey]map[string]stats.Summary
+
+func (f Figure) index() pointIndex {
+	idx := make(pointIndex, len(f.Points))
 	for _, p := range f.Points {
-		if p.X == x && p.Scheme == scheme {
-			v, ok := p.Values[metric]
-			return v, ok
-		}
+		idx[pointKey{p.X, p.Scheme}] = p.Values
 	}
-	return stats.Summary{}, false
+	return idx
+}
+
+func (idx pointIndex) lookup(x float64, scheme, metric string) (stats.Summary, bool) {
+	v, ok := idx[pointKey{x, scheme}][metric]
+	return v, ok
+}
+
+// lookup is a one-off convenience for tests and ad-hoc inspection; render
+// loops build the index once instead.
+func (f Figure) lookup(x float64, scheme, metric string) (stats.Summary, bool) {
+	return f.index().lookup(x, scheme, metric)
 }
 
 // baseScenario is the shared Table R-1 operating point for the data-plane

@@ -8,6 +8,19 @@ import (
 	"clnlr/internal/stats"
 )
 
+// point registers a data-plane cell whose replications reduce to a single
+// figure Point carrying the named metrics — the shared shape of every
+// sweep loop below.
+func (p *planner) point(f *Figure, label string, sc sim.Scenario, x float64, scheme string, metrics map[string]sim.Metric) {
+	p.add(label, sc, func(c *cell) {
+		vals := make(map[string]stats.Summary, len(metrics))
+		for name, m := range metrics {
+			vals[name] = sim.Summarize(c.results, m)
+		}
+		f.Points = append(f.Points, Point{X: x, Scheme: scheme, Values: vals})
+	})
+}
+
 // gridSizes returns the (rows, cols) sweep of the size figures. Area
 // scales with the grid so node spacing (≈143 m) and density stay constant,
 // isolating the effect of network size.
@@ -28,39 +41,47 @@ func discoveryRounds(cfg Config) int {
 	return 20
 }
 
-// FigR1R2 runs the discovery-round size sweep once and returns
-// F-R1 (RREQ transmissions per discovery vs network size) and
-// F-R2 (discovery success rate vs network size).
-func FigR1R2(cfg Config) (Figure, Figure, error) {
-	r1 := Figure{
+// planR1R2 registers the discovery-round size sweep: each cell feeds both
+// F-R1 (RREQ transmissions per discovery vs network size) and F-R2
+// (discovery success rate vs network size).
+func planR1R2(p *planner) (r1, r2 *Figure) {
+	r1 = &Figure{
 		ID: "F-R1", Title: "RREQ transmissions per route discovery vs network size",
 		XLabel: "nodes", Metrics: []string{"rreq/discovery"},
 	}
-	r2 := Figure{
+	r2 = &Figure{
 		ID: "F-R2", Title: "Route discovery success rate vs network size",
 		XLabel: "nodes", Metrics: []string{"success", "latency-ms"},
 	}
-	for _, dim := range gridSizes(cfg) {
-		for _, scheme := range schemeSet(cfg) {
-			sc := baseScenario(cfg).WithScheme(scheme)
+	for _, dim := range gridSizes(p.cfg) {
+		for _, scheme := range schemeSet(p.cfg) {
+			sc := baseScenario(p.cfg).WithScheme(scheme)
 			sc.Rows, sc.Cols = dim[0], dim[1]
 			sc.AreaM = gridSpacingM * float64(dim[1])
 			sc.Flows = 0 // unloaded discovery
-			rs, err := sim.RunDiscoveryReplications(sc, discoveryRounds(cfg), 4*des.Second, cfg.Reps, cfg.Workers)
-			if err != nil {
-				return r1, r2, fmt.Errorf("F-R1/2 %dx%d %s: %w", dim[0], dim[1], scheme, err)
-			}
 			x := float64(dim[0] * dim[1])
-			r1.Points = append(r1.Points, Point{X: x, Scheme: string(scheme), Values: map[string]stats.Summary{
-				"rreq/discovery": sim.SummarizeDiscovery(rs, sim.DMetricRREQ),
-			}})
-			r2.Points = append(r2.Points, Point{X: x, Scheme: string(scheme), Values: map[string]stats.Summary{
-				"success":    sim.SummarizeDiscovery(rs, sim.DMetricSuccess),
-				"latency-ms": sim.SummarizeDiscovery(rs, sim.DMetricLatency),
-			}})
+			label := fmt.Sprintf("F-R1/2 %dx%d %s", dim[0], dim[1], scheme)
+			p.addDiscovery(label, sc, discoveryRounds(p.cfg), 4*des.Second, func(c *cell) {
+				r1.Points = append(r1.Points, Point{X: x, Scheme: string(scheme), Values: map[string]stats.Summary{
+					"rreq/discovery": sim.SummarizeDiscovery(c.dres, sim.DMetricRREQ),
+				}})
+				r2.Points = append(r2.Points, Point{X: x, Scheme: string(scheme), Values: map[string]stats.Summary{
+					"success":    sim.SummarizeDiscovery(c.dres, sim.DMetricSuccess),
+					"latency-ms": sim.SummarizeDiscovery(c.dres, sim.DMetricLatency),
+				}})
+			})
 		}
 	}
-	return r1, r2, nil
+	return r1, r2
+}
+
+// FigR1R2 runs the discovery-round size sweep once and returns F-R1 and
+// F-R2.
+func FigR1R2(cfg Config) (Figure, Figure, error) {
+	p := newPlanner(cfg)
+	r1, r2 := planR1R2(p)
+	err := p.run()
+	return *r1, *r2, err
 }
 
 // loadRates returns the offered-load sweep (packets/s per flow).
@@ -71,38 +92,46 @@ func loadRates(cfg Config) []float64 {
 	return []float64{2, 4, 8, 12, 16, 20, 24}
 }
 
-// FigR3R4R7 runs the offered-load sweep once and returns
-// F-R3 (packet delivery ratio vs load), F-R4 (end-to-end delay vs load)
-// and F-R7 (normalized routing overhead vs load).
-func FigR3R4R7(cfg Config) (Figure, Figure, Figure, error) {
-	r3 := Figure{ID: "F-R3", Title: "Packet delivery ratio vs offered load",
+// planR3R4R7 registers the offered-load sweep: each cell feeds F-R3
+// (packet delivery ratio vs load), F-R4 (end-to-end delay vs load) and
+// F-R7 (normalized routing overhead vs load).
+func planR3R4R7(p *planner) (r3, r4, r7 *Figure) {
+	r3 = &Figure{ID: "F-R3", Title: "Packet delivery ratio vs offered load",
 		XLabel: "pkt/s per flow", Metrics: []string{"pdr"}}
-	r4 := Figure{ID: "F-R4", Title: "End-to-end delay vs offered load (mean and p95)",
+	r4 = &Figure{ID: "F-R4", Title: "End-to-end delay vs offered load (mean and p95)",
 		XLabel: "pkt/s per flow", Metrics: []string{"delay-ms", "delay-p95-ms"}}
-	r7 := Figure{ID: "F-R7", Title: "Normalized routing overhead vs offered load",
+	r7 = &Figure{ID: "F-R7", Title: "Normalized routing overhead vs offered load",
 		XLabel: "pkt/s per flow", Metrics: []string{"ctl/delivered", "rreq-tx"}}
-	for _, rate := range loadRates(cfg) {
-		for _, scheme := range schemeSet(cfg) {
-			sc := baseScenario(cfg).WithScheme(scheme)
+	for _, rate := range loadRates(p.cfg) {
+		for _, scheme := range schemeSet(p.cfg) {
+			sc := baseScenario(p.cfg).WithScheme(scheme)
 			sc.PacketRate = rate
-			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
-			if err != nil {
-				return r3, r4, r7, fmt.Errorf("F-R3/4/7 rate=%v %s: %w", rate, scheme, err)
-			}
-			r3.Points = append(r3.Points, Point{X: rate, Scheme: string(scheme), Values: map[string]stats.Summary{
-				"pdr": sim.Summarize(rs, sim.MetricPDR),
-			}})
-			r4.Points = append(r4.Points, Point{X: rate, Scheme: string(scheme), Values: map[string]stats.Summary{
-				"delay-ms":     sim.Summarize(rs, sim.MetricDelayMs),
-				"delay-p95-ms": sim.Summarize(rs, sim.MetricDelayP95Ms),
-			}})
-			r7.Points = append(r7.Points, Point{X: rate, Scheme: string(scheme), Values: map[string]stats.Summary{
-				"ctl/delivered": sim.Summarize(rs, sim.MetricNormOverhead),
-				"rreq-tx":       sim.Summarize(rs, sim.MetricRREQTx),
-			}})
+			label := fmt.Sprintf("F-R3/4/7 rate=%v %s", rate, scheme)
+			p.add(label, sc, func(c *cell) {
+				r3.Points = append(r3.Points, Point{X: rate, Scheme: string(scheme), Values: map[string]stats.Summary{
+					"pdr": sim.Summarize(c.results, sim.MetricPDR),
+				}})
+				r4.Points = append(r4.Points, Point{X: rate, Scheme: string(scheme), Values: map[string]stats.Summary{
+					"delay-ms":     sim.Summarize(c.results, sim.MetricDelayMs),
+					"delay-p95-ms": sim.Summarize(c.results, sim.MetricDelayP95Ms),
+				}})
+				r7.Points = append(r7.Points, Point{X: rate, Scheme: string(scheme), Values: map[string]stats.Summary{
+					"ctl/delivered": sim.Summarize(c.results, sim.MetricNormOverhead),
+					"rreq-tx":       sim.Summarize(c.results, sim.MetricRREQTx),
+				}})
+			})
 		}
 	}
-	return r3, r4, r7, nil
+	return r3, r4, r7
+}
+
+// FigR3R4R7 runs the offered-load sweep once and returns F-R3, F-R4 and
+// F-R7.
+func FigR3R4R7(cfg Config) (Figure, Figure, Figure, error) {
+	p := newPlanner(cfg)
+	r3, r4, r7 := planR3R4R7(p)
+	err := p.run()
+	return *r3, *r4, *r7, err
 }
 
 // flowCounts returns the flow-count sweep of F-R5.
@@ -113,86 +142,101 @@ func flowCounts(cfg Config) []int {
 	return []int{2, 5, 10, 15, 20, 25}
 }
 
-// FigR5 returns throughput versus the number of concurrent flows.
-func FigR5(cfg Config) (Figure, error) {
-	f := Figure{ID: "F-R5", Title: "Aggregate delivered throughput vs number of flows",
+// planR5 registers throughput versus the number of concurrent flows.
+func planR5(p *planner) *Figure {
+	f := &Figure{ID: "F-R5", Title: "Aggregate delivered throughput vs number of flows",
 		XLabel: "flows", Metrics: []string{"kbps", "pdr"}}
-	for _, flows := range flowCounts(cfg) {
-		for _, scheme := range schemeSet(cfg) {
-			sc := baseScenario(cfg).WithScheme(scheme)
+	for _, flows := range flowCounts(p.cfg) {
+		for _, scheme := range schemeSet(p.cfg) {
+			sc := baseScenario(p.cfg).WithScheme(scheme)
 			sc.Flows = flows
 			sc.PacketRate = 8
-			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
-			if err != nil {
-				return f, fmt.Errorf("F-R5 flows=%d %s: %w", flows, scheme, err)
-			}
-			f.Points = append(f.Points, Point{X: float64(flows), Scheme: string(scheme), Values: map[string]stats.Summary{
-				"kbps": sim.Summarize(rs, sim.MetricThroughput),
-				"pdr":  sim.Summarize(rs, sim.MetricPDR),
-			}})
+			p.point(f, fmt.Sprintf("F-R5 flows=%d %s", flows, scheme),
+				sc, float64(flows), string(scheme), map[string]sim.Metric{
+					"kbps": sim.MetricThroughput,
+					"pdr":  sim.MetricPDR,
+				})
 		}
 	}
-	return f, nil
+	return f
 }
 
-// FigR6 returns the load-balance comparison: the distribution of
+// FigR5 returns throughput versus the number of concurrent flows.
+func FigR5(cfg Config) (Figure, error) {
+	p := newPlanner(cfg)
+	f := planR5(p)
+	err := p.run()
+	return *f, err
+}
+
+// planR6 registers the load-balance comparison: the distribution of
 // per-node forwarding burden under the uniform and gateway (hotspot)
 // workloads. X encodes the workload: 0 = uniform, 1 = gateway.
-func FigR6(cfg Config) (Figure, error) {
-	f := Figure{ID: "F-R6", Title: "Forwarding load balance (0 = uniform workload, 1 = gateway hotspot)",
+func planR6(p *planner) *Figure {
+	f := &Figure{ID: "F-R6", Title: "Forwarding load balance (0 = uniform workload, 1 = gateway hotspot)",
 		XLabel: "workload", Metrics: []string{"fwd-std", "fwd-max/mean", "pdr"}}
 	for _, gateway := range []bool{false, true} {
-		for _, scheme := range schemeSet(cfg) {
-			sc := baseScenario(cfg).WithScheme(scheme)
+		for _, scheme := range schemeSet(p.cfg) {
+			sc := baseScenario(p.cfg).WithScheme(scheme)
 			sc.Gateway = gateway
 			sc.PacketRate = 10
-			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
-			if err != nil {
-				return f, fmt.Errorf("F-R6 gw=%v %s: %w", gateway, scheme, err)
-			}
 			x := 0.0
 			if gateway {
 				x = 1
 			}
-			f.Points = append(f.Points, Point{X: x, Scheme: string(scheme), Values: map[string]stats.Summary{
-				"fwd-std":      sim.Summarize(rs, sim.MetricForwardStd),
-				"fwd-max/mean": sim.Summarize(rs, sim.MetricForwardMax),
-				"pdr":          sim.Summarize(rs, sim.MetricPDR),
-			}})
+			p.point(f, fmt.Sprintf("F-R6 gw=%v %s", gateway, scheme),
+				sc, x, string(scheme), map[string]sim.Metric{
+					"fwd-std":      sim.MetricForwardStd,
+					"fwd-max/mean": sim.MetricForwardMax,
+					"pdr":          sim.MetricPDR,
+				})
 		}
 	}
-	return f, nil
+	return f
 }
 
-// TabR2 returns the summary table at the default operating point: every
-// headline metric for every scheme (X = 0 for all points).
-func TabR2(cfg Config) (Figure, error) {
-	f := Figure{ID: "T-R2", Title: "Summary at the default operating point (10 flows × 8 pkt/s)",
+// FigR6 returns the load-balance comparison figure.
+func FigR6(cfg Config) (Figure, error) {
+	p := newPlanner(cfg)
+	f := planR6(p)
+	err := p.run()
+	return *f, err
+}
+
+// planTabR2 registers the summary table at the default operating point:
+// every headline metric for every scheme (X = 0 for all points).
+func planTabR2(p *planner) *Figure {
+	f := &Figure{ID: "T-R2", Title: "Summary at the default operating point (10 flows × 8 pkt/s)",
 		XLabel: "-", Metrics: []string{"pdr", "delay-ms", "rreq-tx", "ctl/delivered", "fwd-max/mean", "discovery"}}
-	for _, scheme := range schemeSet(cfg) {
-		sc := baseScenario(cfg).WithScheme(scheme)
+	for _, scheme := range schemeSet(p.cfg) {
+		sc := baseScenario(p.cfg).WithScheme(scheme)
 		sc.PacketRate = 8
-		rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
-		if err != nil {
-			return f, fmt.Errorf("T-R2 %s: %w", scheme, err)
-		}
-		f.Points = append(f.Points, Point{X: 0, Scheme: string(scheme), Values: map[string]stats.Summary{
-			"pdr":           sim.Summarize(rs, sim.MetricPDR),
-			"delay-ms":      sim.Summarize(rs, sim.MetricDelayMs),
-			"rreq-tx":       sim.Summarize(rs, sim.MetricRREQTx),
-			"ctl/delivered": sim.Summarize(rs, sim.MetricNormOverhead),
-			"fwd-max/mean":  sim.Summarize(rs, sim.MetricForwardMax),
-			"discovery":     sim.Summarize(rs, sim.MetricDiscovery),
-		}})
+		p.point(f, fmt.Sprintf("T-R2 %s", scheme),
+			sc, 0, string(scheme), map[string]sim.Metric{
+				"pdr":           sim.MetricPDR,
+				"delay-ms":      sim.MetricDelayMs,
+				"rreq-tx":       sim.MetricRREQTx,
+				"ctl/delivered": sim.MetricNormOverhead,
+				"fwd-max/mean":  sim.MetricForwardMax,
+				"discovery":     sim.MetricDiscovery,
+			})
 	}
-	return f, nil
+	return f
 }
 
-// FigR8 is the CLNLR ablation: neighbourhood depth, Beta (load-aware
-// cost on/off) and Gamma (suppression aggressiveness) at a loaded
-// operating point. X indexes the variant.
-func FigR8(cfg Config) (Figure, error) {
-	f := Figure{ID: "F-R8", Title: "CLNLR ablation at 10 flows × 12 pkt/s (variants indexed)",
+// TabR2 returns the summary table at the default operating point.
+func TabR2(cfg Config) (Figure, error) {
+	p := newPlanner(cfg)
+	f := planTabR2(p)
+	err := p.run()
+	return *f, err
+}
+
+// planR8 registers the CLNLR ablation: neighbourhood depth, Beta
+// (load-aware cost on/off) and Gamma (suppression aggressiveness) at a
+// loaded operating point. X indexes the variant.
+func planR8(p *planner) *Figure {
+	f := &Figure{ID: "F-R8", Title: "CLNLR ablation at 10 flows × 12 pkt/s (variants indexed)",
 		XLabel: "variant", Metrics: []string{"pdr", "delay-ms", "rreq-tx", "fwd-max/mean"}}
 	type variant struct {
 		name string
@@ -212,25 +256,30 @@ func FigR8(cfg Config) (Figure, error) {
 		{"ctl-priority", func(sc *sim.Scenario) { sc.Mac.ControlPriority = true }},
 		{"auto-rate", func(sc *sim.Scenario) { sc.Mac.AutoRate = true }},
 	}
-	if cfg.Quick {
+	if p.cfg.Quick {
 		variants = variants[:4]
 	}
 	for i, v := range variants {
-		sc := baseScenario(cfg).WithScheme(sim.SchemeCLNLR)
+		sc := baseScenario(p.cfg).WithScheme(sim.SchemeCLNLR)
 		sc.PacketRate = 12
 		v.mut(&sc)
-		rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
-		if err != nil {
-			return f, fmt.Errorf("F-R8 %s: %w", v.name, err)
-		}
-		f.Points = append(f.Points, Point{X: float64(i), Scheme: v.name, Values: map[string]stats.Summary{
-			"pdr":          sim.Summarize(rs, sim.MetricPDR),
-			"delay-ms":     sim.Summarize(rs, sim.MetricDelayMs),
-			"rreq-tx":      sim.Summarize(rs, sim.MetricRREQTx),
-			"fwd-max/mean": sim.Summarize(rs, sim.MetricForwardMax),
-		}})
+		p.point(f, fmt.Sprintf("F-R8 %s", v.name),
+			sc, float64(i), v.name, map[string]sim.Metric{
+				"pdr":          sim.MetricPDR,
+				"delay-ms":     sim.MetricDelayMs,
+				"rreq-tx":      sim.MetricRREQTx,
+				"fwd-max/mean": sim.MetricForwardMax,
+			})
 	}
-	return f, nil
+	return f
+}
+
+// FigR8 returns the CLNLR ablation figure.
+func FigR8(cfg Config) (Figure, error) {
+	p := newPlanner(cfg)
+	f := planR8(p)
+	err := p.run()
+	return *f, err
 }
 
 // densityCounts returns the node-count sweep of F-R9 (fixed 1000×1000 m
@@ -242,29 +291,34 @@ func densityCounts(cfg Config) []int {
 	return []int{30, 40, 50, 65, 80, 100}
 }
 
-// FigR9 returns the density sweep: random topologies with increasing node
-// count in a fixed area.
-func FigR9(cfg Config) (Figure, error) {
-	f := Figure{ID: "F-R9", Title: "Random-topology density sweep (fixed 1000 m² area)",
+// planR9 registers the density sweep: random topologies with increasing
+// node count in a fixed area.
+func planR9(p *planner) *Figure {
+	f := &Figure{ID: "F-R9", Title: "Random-topology density sweep (fixed 1000 m² area)",
 		XLabel: "nodes", Metrics: []string{"pdr", "rreq-tx", "delay-ms"}}
-	for _, n := range densityCounts(cfg) {
-		for _, scheme := range schemeSet(cfg) {
-			sc := baseScenario(cfg).WithScheme(scheme)
+	for _, n := range densityCounts(p.cfg) {
+		for _, scheme := range schemeSet(p.cfg) {
+			sc := baseScenario(p.cfg).WithScheme(scheme)
 			sc.Topology = sim.TopoRandom
 			sc.Nodes = n
 			sc.PacketRate = 8
-			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
-			if err != nil {
-				return f, fmt.Errorf("F-R9 n=%d %s: %w", n, scheme, err)
-			}
-			f.Points = append(f.Points, Point{X: float64(n), Scheme: string(scheme), Values: map[string]stats.Summary{
-				"pdr":      sim.Summarize(rs, sim.MetricPDR),
-				"rreq-tx":  sim.Summarize(rs, sim.MetricRREQTx),
-				"delay-ms": sim.Summarize(rs, sim.MetricDelayMs),
-			}})
+			p.point(f, fmt.Sprintf("F-R9 n=%d %s", n, scheme),
+				sc, float64(n), string(scheme), map[string]sim.Metric{
+					"pdr":      sim.MetricPDR,
+					"rreq-tx":  sim.MetricRREQTx,
+					"delay-ms": sim.MetricDelayMs,
+				})
 		}
 	}
-	return f, nil
+	return f
+}
+
+// FigR9 returns the density sweep figure.
+func FigR9(cfg Config) (Figure, error) {
+	p := newPlanner(cfg)
+	f := planR9(p)
+	err := p.run()
+	return *f, err
 }
 
 // mobilitySpeeds returns the max-speed sweep of F-R10 (m/s).
@@ -275,30 +329,35 @@ func mobilitySpeeds(cfg Config) []float64 {
 	return []float64{0, 2, 5, 10, 15, 20}
 }
 
-// FigR10 is the mobility extension: random-waypoint node motion stresses
-// link breakage, RERR propagation and re-discovery. (The paper's mesh
-// backbone is static; this reproduces the MANET-style robustness sweep
-// the authors' companion papers report.)
-func FigR10(cfg Config) (Figure, error) {
-	f := Figure{ID: "F-R10", Title: "Mobility extension: random waypoint, PDR/overhead vs max speed",
+// planR10 registers the mobility extension: random-waypoint node motion
+// stresses link breakage, RERR propagation and re-discovery. (The paper's
+// mesh backbone is static; this reproduces the MANET-style robustness
+// sweep the authors' companion papers report.)
+func planR10(p *planner) *Figure {
+	f := &Figure{ID: "F-R10", Title: "Mobility extension: random waypoint, PDR/overhead vs max speed",
 		XLabel: "max speed (m/s)", Metrics: []string{"pdr", "rreq-tx", "delay-ms"}}
-	for _, speed := range mobilitySpeeds(cfg) {
-		for _, scheme := range schemeSet(cfg) {
-			sc := baseScenario(cfg).WithScheme(scheme)
+	for _, speed := range mobilitySpeeds(p.cfg) {
+		for _, scheme := range schemeSet(p.cfg) {
+			sc := baseScenario(p.cfg).WithScheme(scheme)
 			sc.MobilitySpeed = speed
 			sc.PacketRate = 4
-			rs, err := sim.RunReplications(sc, cfg.Reps, cfg.Workers)
-			if err != nil {
-				return f, fmt.Errorf("F-R10 v=%v %s: %w", speed, scheme, err)
-			}
-			f.Points = append(f.Points, Point{X: speed, Scheme: string(scheme), Values: map[string]stats.Summary{
-				"pdr":      sim.Summarize(rs, sim.MetricPDR),
-				"rreq-tx":  sim.Summarize(rs, sim.MetricRREQTx),
-				"delay-ms": sim.Summarize(rs, sim.MetricDelayMs),
-			}})
+			p.point(f, fmt.Sprintf("F-R10 v=%v %s", speed, scheme),
+				sc, speed, string(scheme), map[string]sim.Metric{
+					"pdr":      sim.MetricPDR,
+					"rreq-tx":  sim.MetricRREQTx,
+					"delay-ms": sim.MetricDelayMs,
+				})
 		}
 	}
-	return f, nil
+	return f
+}
+
+// FigR10 returns the mobility extension figure.
+func FigR10(cfg Config) (Figure, error) {
+	p := newPlanner(cfg)
+	f := planR10(p)
+	err := p.run()
+	return *f, err
 }
 
 // TabR1 renders the simulation-parameter table (static configuration).
@@ -327,25 +386,21 @@ func TabR1() string {
 		sc.CLNLR.ReplyWindow, sc.CLNLR.HelloInterval)
 }
 
-// RunAll executes the whole suite.
+// RunAll executes the whole suite on one planner: every figure's cells are
+// flattened into a single job set, so the worker pool stays saturated
+// across figure boundaries instead of draining at the tail of each sweep.
 func RunAll(cfg Config) ([]Figure, error) {
-	var figs []Figure
-	r1, r2, err := FigR1R2(cfg)
-	if err != nil {
+	p := newPlanner(cfg)
+	r1, r2 := planR1R2(p)
+	r3, r4, r7 := planR3R4R7(p)
+	f5 := planR5(p)
+	f6 := planR6(p)
+	t2 := planTabR2(p)
+	f8 := planR8(p)
+	f9 := planR9(p)
+	f10 := planR10(p)
+	if err := p.run(); err != nil {
 		return nil, err
 	}
-	figs = append(figs, r1, r2)
-	r3, r4, r7, err := FigR3R4R7(cfg)
-	if err != nil {
-		return nil, err
-	}
-	figs = append(figs, r3, r4, r7)
-	for _, fn := range []func(Config) (Figure, error){FigR5, FigR6, TabR2, FigR8, FigR9, FigR10} {
-		f, err := fn(cfg)
-		if err != nil {
-			return nil, err
-		}
-		figs = append(figs, f)
-	}
-	return figs, nil
+	return []Figure{*r1, *r2, *r3, *r4, *r7, *f5, *f6, *t2, *f8, *f9, *f10}, nil
 }

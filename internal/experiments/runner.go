@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clnlr/internal/des"
+	"clnlr/internal/sim"
+)
+
+// planner is the cross-point experiment scheduler. Figure builders register
+// cells — one (scenario, sweep-x, scheme) unit of work — and run() flattens
+// every (cell × replication) pair into a single job set executed over one
+// bounded worker pool. This keeps the pool saturated across figure
+// boundaries: the tail of a figure with few remaining cells no longer
+// leaves workers idle while the next figure waits to start.
+//
+// Determinism: replication r of a cell runs with seed sc.Seed+r, exactly
+// the seed schedule sim.RunReplications uses, and cells are finalized in
+// registration order, so a planner run produces bit-identical Figures to
+// the sequential per-figure loops it replaces — regardless of worker count
+// or job interleaving.
+type planner struct {
+	cfg   Config
+	cells []*cell
+}
+
+// cell is one point's worth of replications plus the finalizer that folds
+// them into figure Points once the whole job set has run.
+type cell struct {
+	label string // error context, e.g. "F-R5 flows=10 clnlr"
+	sc    sim.Scenario
+
+	// Discovery cells probe route discovery on an unloaded network via
+	// sim.RunDiscovery instead of the data-plane sim.Run.
+	discovery bool
+	rounds    int
+	gap       des.Time
+
+	results []sim.Result
+	dres    []sim.DiscoveryResult
+	errs    []error
+
+	finalize func(*cell)
+}
+
+func newPlanner(cfg Config) *planner { return &planner{cfg: cfg} }
+
+// add registers a data-plane cell. finalize runs after every job in the
+// planner has completed, with c.results holding the replications in seed
+// order.
+func (p *planner) add(label string, sc sim.Scenario, finalize func(c *cell)) {
+	p.cells = append(p.cells, &cell{label: label, sc: sc, finalize: finalize})
+}
+
+// addDiscovery registers a discovery-probe cell (c.dres holds the
+// replications in seed order).
+func (p *planner) addDiscovery(label string, sc sim.Scenario, rounds int, gap des.Time, finalize func(c *cell)) {
+	p.cells = append(p.cells, &cell{
+		label: label, sc: sc, discovery: true, rounds: rounds, gap: gap,
+		finalize: finalize,
+	})
+}
+
+// run executes every registered cell's replications across one worker pool,
+// then finalizes cells in registration order. The first error (in
+// registration/seed order, not completion order) aborts finalization.
+func (p *planner) run() error {
+	if p.cfg.Reps <= 0 {
+		return fmt.Errorf("experiments: non-positive replication count %d", p.cfg.Reps)
+	}
+	type job struct {
+		c   *cell
+		rep int
+	}
+	jobs := make([]job, 0, len(p.cells)*p.cfg.Reps)
+	for _, c := range p.cells {
+		if c.discovery {
+			c.dres = make([]sim.DiscoveryResult, p.cfg.Reps)
+		} else {
+			c.results = make([]sim.Result, p.cfg.Reps)
+		}
+		c.errs = make([]error, p.cfg.Reps)
+		for r := 0; r < p.cfg.Reps; r++ {
+			jobs = append(jobs, job{c, r})
+		}
+	}
+	sim.ParallelFor(len(jobs), p.cfg.Workers, func(i int) {
+		j := jobs[i]
+		sc := j.c.sc
+		sc.Seed += uint64(j.rep)
+		if j.c.discovery {
+			j.c.dres[j.rep], j.c.errs[j.rep] = sim.RunDiscovery(sc, j.c.rounds, j.c.gap)
+		} else {
+			j.c.results[j.rep], j.c.errs[j.rep] = sim.Run(sc)
+		}
+	})
+	for _, c := range p.cells {
+		for _, err := range c.errs {
+			if err != nil {
+				return fmt.Errorf("%s: %w", c.label, err)
+			}
+		}
+	}
+	for _, c := range p.cells {
+		c.finalize(c)
+	}
+	return nil
+}

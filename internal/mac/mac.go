@@ -62,16 +62,19 @@ type Mac struct {
 	id    pkt.NodeID
 
 	queue []*Frame
-	cur   *outgoing
-	state accessState
+	// cur points at curBuf while a frame is in service (nil otherwise);
+	// the buffer is reused so promoting a frame does not allocate.
+	cur    *outgoing
+	curBuf outgoing
+	state  accessState
 
 	cw           int
 	backoffSlots int
 	backoffStart des.Time
-	backoffEv    *des.Event
-	deferEv      *des.Event
-	ackEv        *des.Event
-	ctsEv        *des.Event
+	backoffEv    des.Event
+	deferEv      des.Event
+	ackEv        des.Event
+	ctsEv        des.Event
 
 	carrierBusy  bool
 	useEIFS      bool
@@ -80,7 +83,21 @@ type Mac struct {
 	// navUntil is the virtual-carrier-sense reservation learned from
 	// overheard RTS/CTS frames; the channel counts as busy until then.
 	navUntil des.Time
-	navEv    *des.Event
+	navEv    des.Event
+
+	// Pre-bound handler closures: scheduling a method value allocates a
+	// closure per call, so the recurring DCF callbacks are bound once here.
+	onNavExpireFn   func()
+	onDeferDoneFn   func()
+	onBackoffDoneFn func()
+	onAckTimeoutFn  func()
+	onCtsTimeoutFn  func()
+	sendCurDataFn   func()
+	sendAckFn       func()
+	// ackDst is the destination of the SIFS-deferred ACK sendAckFn sends.
+	// At most one response can be pending: a second frame cannot finish
+	// arriving within SIFS of the previous one (every airtime ≫ SIFS).
+	ackDst pkt.NodeID
 
 	seq     uint16
 	lastSeq map[pkt.NodeID]int32
@@ -107,6 +124,13 @@ func New(cfg Config, sim *des.Sim, r *radio.Radio, id pkt.NodeID, src *rng.Sourc
 		le:      newLoadEstimator(&cfg, sim),
 		energy:  energyMeter{params: DefaultEnergyParams()},
 	}
+	m.onNavExpireFn = m.onNavExpire
+	m.onDeferDoneFn = m.onDeferDone
+	m.onBackoffDoneFn = m.onBackoffDone
+	m.onAckTimeoutFn = m.onAckTimeout
+	m.onCtsTimeoutFn = m.onCtsTimeout
+	m.sendCurDataFn = m.sendCurData
+	m.sendAckFn = func() { m.sendAck(m.ackDst) }
 	r.SetListener(m)
 	return m
 }
@@ -179,7 +203,8 @@ func (m *Mac) next() {
 	copy(m.queue, m.queue[1:])
 	m.queue[len(m.queue)-1] = nil
 	m.queue = m.queue[:len(m.queue)-1]
-	m.cur = &outgoing{frame: f}
+	m.curBuf = outgoing{frame: f}
+	m.cur = &m.curBuf
 	m.cw = m.cfg.CWMin
 	m.drawBackoff()
 	m.startAccess()
@@ -203,10 +228,8 @@ func (m *Mac) setNAV(dur des.Time) {
 	}
 	wasBusy := m.channelBusy()
 	m.navUntil = until
-	if m.navEv != nil {
-		m.navEv.Cancel()
-	}
-	m.navEv = m.sim.Schedule(dur, m.onNavExpire)
+	m.navEv.Cancel()
+	m.navEv = m.sim.Schedule(dur, m.onNavExpireFn)
 	if !wasBusy {
 		// NAV newly blocks the channel: freeze contention exactly as a
 		// physical-carrier busy transition would.
@@ -259,14 +282,14 @@ func (m *Mac) beginDefer() {
 	if m.useEIFS {
 		d = m.cfg.EIFS()
 	}
-	m.deferEv = m.sim.Schedule(d, m.onDeferDone)
+	m.deferEv = m.sim.Schedule(d, m.onDeferDoneFn)
 }
 
 func (m *Mac) onDeferDone() {
 	m.useEIFS = false
 	m.state = accBackoff
 	m.backoffStart = m.sim.Now()
-	m.backoffEv = m.sim.Schedule(des.Time(m.backoffSlots)*m.cfg.SlotTime, m.onBackoffDone)
+	m.backoffEv = m.sim.Schedule(des.Time(m.backoffSlots)*m.cfg.SlotTime, m.onBackoffDoneFn)
 }
 
 func (m *Mac) onBackoffDone() {
@@ -371,9 +394,10 @@ func (m *Mac) onAckTimeout() {
 // unicast frame. ACKs bypass the interface queue and channel contention.
 func (m *Mac) scheduleAck(dst pkt.NodeID) {
 	m.pendingAckTx = true
+	m.ackDst = dst
 	// If we were mid-contention, the countdown events may fire during the
 	// ACK transmission; transmitCur's guard postpones them safely.
-	m.sim.Schedule(m.cfg.SIFS, func() { m.sendAck(dst) })
+	m.sim.Schedule(m.cfg.SIFS, m.sendAckFn)
 }
 
 func (m *Mac) sendAck(dst pkt.NodeID) {
@@ -439,7 +463,7 @@ func (m *Mac) RadioTxDone(payload any) {
 		return
 	case RTSFrame:
 		m.state = accWaitCts
-		m.ctsEv = m.sim.Schedule(m.cfg.CTSTimeout(), m.onCtsTimeout)
+		m.ctsEv = m.sim.Schedule(m.cfg.CTSTimeout(), m.onCtsTimeoutFn)
 		return
 	}
 	if f.Dst == pkt.Broadcast {
@@ -447,7 +471,7 @@ func (m *Mac) RadioTxDone(payload any) {
 		return
 	}
 	m.state = accWaitAck
-	m.ackEv = m.sim.Schedule(m.cfg.AckTimeout(), m.onAckTimeout)
+	m.ackEv = m.sim.Schedule(m.cfg.AckTimeout(), m.onAckTimeoutFn)
 }
 
 // onCtsTimeout mirrors onAckTimeout for a failed RTS handshake.
@@ -523,7 +547,7 @@ func (m *Mac) RadioReceive(payload any, bytes int, ok bool) {
 		if m.state == accWaitCts && m.cur != nil && f.Src == m.cur.frame.Dst {
 			m.ctsEv.Cancel()
 			m.state = accTxData
-			m.sim.Schedule(m.cfg.SIFS, m.sendCurData)
+			m.sim.Schedule(m.cfg.SIFS, m.sendCurDataFn)
 		}
 	case DataFrame:
 		switch f.Dst {

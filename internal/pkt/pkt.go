@@ -244,17 +244,27 @@ func NewHello(src NodeID, body HelloBody, now des.Time) *Packet {
 
 // Clone returns a deep copy. Forwarding nodes clone before mutating
 // per-hop fields (TTL, hop count, cost) so receivers of the same broadcast
-// frame observe identical contents.
+// frame observe identical contents. Cloning is the per-hop hot allocation,
+// so the body (a packet carries at most one) is co-allocated with the
+// packet header in a single object.
 func (p *Packet) Clone() *Packet {
-	q := *p
 	if p.RREQ != nil {
-		b := *p.RREQ
-		q.RREQ = &b
+		c := &struct {
+			p Packet
+			b RREQBody
+		}{*p, *p.RREQ}
+		c.p.RREQ = &c.b
+		return &c.p
 	}
 	if p.RREP != nil {
-		b := *p.RREP
-		q.RREP = &b
+		c := &struct {
+			p Packet
+			b RREPBody
+		}{*p, *p.RREP}
+		c.p.RREP = &c.b
+		return &c.p
 	}
+	q := *p
 	if p.RERR != nil {
 		b := RERRBody{Unreachable: append([]UnreachableDest(nil), p.RERR.Unreachable...)}
 		q.RERR = &b

@@ -1,0 +1,77 @@
+package radio
+
+import (
+	"math"
+	"slices"
+
+	"clnlr/internal/geom"
+)
+
+// cellGrid is the Medium's spatial index: radios bucketed into square
+// cells whose side is at least the maximum trackable range of the active
+// propagation model. Any radio that can hear a transmitter therefore lies
+// in the transmitter's 3×3 cell neighbourhood, so a transmission visits
+// O(audible neighbourhood) radios instead of O(network).
+type cellGrid struct {
+	cell  float64 // cell side in metres (≥ max trackable range)
+	cells map[gridKey][]*Radio
+}
+
+type gridKey struct{ x, y int32 }
+
+func newCellGrid(cell float64) *cellGrid {
+	return &cellGrid{cell: cell, cells: make(map[gridKey][]*Radio)}
+}
+
+func (g *cellGrid) keyFor(p geom.Point) gridKey {
+	return gridKey{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+// insert adds r under its current position's cell.
+func (g *cellGrid) insert(r *Radio) {
+	k := g.keyFor(r.pos)
+	r.cell = k
+	g.cells[k] = append(g.cells[k], r)
+}
+
+// update re-buckets r after a position change (no-op if the cell is
+// unchanged, the common case for small motion steps).
+func (g *cellGrid) update(r *Radio) {
+	k := g.keyFor(r.pos)
+	if k == r.cell {
+		return
+	}
+	g.remove(r)
+	r.cell = k
+	g.cells[k] = append(g.cells[k], r)
+}
+
+func (g *cellGrid) remove(r *Radio) {
+	bucket := g.cells[r.cell]
+	for i, other := range bucket {
+		if other == r {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			bucket[last] = nil
+			g.cells[r.cell] = bucket[:last]
+			return
+		}
+	}
+}
+
+// query appends every radio in the 3×3 cell neighbourhood of r (including
+// r itself) to buf and returns it sorted by radio ID. Ascending-ID order
+// matches the Medium's dense radio slice, so the indexed transmit path
+// visits receivers in exactly the order the unindexed path would — a
+// requirement for bit-identical replay (receiver callbacks schedule
+// events, and event sequence numbers encode visit order).
+func (g *cellGrid) query(r *Radio, buf []*Radio) []*Radio {
+	c := r.cell
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			buf = append(buf, g.cells[gridKey{c.x + dx, c.y + dy}]...)
+		}
+	}
+	slices.SortFunc(buf, func(a, b *Radio) int { return a.id - b.id })
+	return buf
+}

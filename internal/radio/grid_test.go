@@ -1,0 +1,175 @@
+package radio
+
+import (
+	"reflect"
+	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+)
+
+// Log-distance exp-3 ranges at default power with the 1e-14 W tracking
+// floor: ~80.7 m receive, ~2680 m trackable. The spatial grid therefore
+// activates only when a deployment axis spans at least 3 × 2680 ≈ 8 km.
+
+// lineMedium builds n radios spaced along the x axis under log-distance
+// propagation.
+func lineMedium(n int, spacing float64) (*des.Sim, *Medium, []*Radio, []*recorder) {
+	sim := des.NewSim()
+	m := NewMedium(sim, NewLogDistance(914e6, 3.0, 1.0, 0, 1))
+	radios := make([]*Radio, n)
+	recs := make([]*recorder, n)
+	for i := 0; i < n; i++ {
+		radios[i] = m.Attach(geom.Point{X: float64(i) * spacing}, DefaultParams())
+		recs[i] = &recorder{}
+		radios[i].SetListener(recs[i])
+	}
+	return sim, m, radios, recs
+}
+
+func TestGridActivatesOnlyForWideDeployments(t *testing.T) {
+	// 40 radios over 9.75 km > 3 × trackable range: the grid must build,
+	// with cell side no smaller than the trackable range.
+	sim, m, radios, _ := lineMedium(40, 250)
+	radios[0].Transmit("p", 100, des.Millisecond)
+	sim.Run()
+	if m.grid == nil {
+		t.Fatal("grid not built for a 9.75 km deployment under log-distance")
+	}
+	want := NewLogDistance(914e6, 3.0, 1.0, 0, 1).MaxRange(DefaultParams().TxPowerW, m.minTrackW)
+	if m.grid.cell < want {
+		t.Fatalf("grid cell %.0f m below the trackable range %.0f m — pruning could drop audible radios",
+			m.grid.cell, want)
+	}
+
+	// The default two-ray trackable range (~3.5 km) exceeds a 1000 m
+	// deployment, so pruning could never exclude anyone: grid must stay off.
+	sim2, m2, radios2, _ := testbed(DefaultParams(),
+		geom.Point{}, geom.Point{X: 1000}, geom.Point{Y: 1000})
+	radios2[0].Transmit("p", 100, des.Millisecond)
+	sim2.Run()
+	if m2.grid != nil {
+		t.Fatal("grid built for a deployment smaller than the trackable range")
+	}
+}
+
+func TestGridQueryCoversTrackableRangeInIDOrder(t *testing.T) {
+	sim, m, radios, _ := lineMedium(40, 250)
+	radios[0].Transmit("p", 100, des.Millisecond)
+	sim.Run()
+	if m.grid == nil {
+		t.Fatal("grid not built")
+	}
+	for _, r := range radios {
+		got := m.grid.query(r, nil)
+		seen := map[int]bool{}
+		for i, c := range got {
+			seen[c.id] = true
+			if i > 0 && got[i-1].id >= c.id {
+				t.Fatalf("query for radio %d not in ascending ID order", r.id)
+			}
+		}
+		for _, other := range radios {
+			if r.pos.Dist(other.pos) <= m.grid.cell && !seen[other.id] {
+				t.Fatalf("radio %d within trackable range of %d but missing from query", other.id, r.id)
+			}
+		}
+	}
+}
+
+func TestGridRebucketsOnSetPos(t *testing.T) {
+	sim, m, radios, _ := lineMedium(40, 250)
+	radios[0].Transmit("p", 100, des.Millisecond)
+	sim.Run()
+	if m.grid == nil {
+		t.Fatal("grid not built")
+	}
+	r := radios[39] // at x = 9750 m
+	oldCell := r.cell
+	r.SetPos(geom.Point{X: 0, Y: 10}) // jump across the deployment
+	if r.cell == oldCell {
+		t.Fatal("cell unchanged after a cross-deployment move")
+	}
+	found := false
+	for _, c := range m.grid.query(radios[0], nil) {
+		if c == r {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("moved radio not found near its new position")
+	}
+	for _, c := range m.grid.cells[oldCell] {
+		if c == r {
+			t.Fatal("moved radio still listed in its old cell")
+		}
+	}
+}
+
+func TestGainCacheInvalidatedOnSetPos(t *testing.T) {
+	prop := NewTwoRay(914e6, 1.5, 1.5)
+	sim := des.NewSim()
+	m := NewMedium(sim, prop)
+	p := DefaultParams()
+	m.Attach(geom.Point{}, p)
+	b := m.Attach(geom.Point{X: 200}, p)
+	before := m.RxPowerBetween(0, 1) // populates the cache
+	if want := prop.RxPower(p.TxPowerW, geom.Point{}, geom.Point{X: 200}, 0); before != want {
+		t.Fatalf("cached power %g, direct %g", before, want)
+	}
+	b.SetPos(geom.Point{X: 400})
+	after := m.RxPowerBetween(0, 1)
+	if want := prop.RxPower(p.TxPowerW, geom.Point{}, geom.Point{X: 400}, 0); after != want {
+		t.Fatalf("stale gain after SetPos: got %g, want %g", after, want)
+	}
+	// Symmetric direction must be invalidated too.
+	if got, want := m.RxPowerBetween(1, 0), prop.RxPower(p.TxPowerW, geom.Point{X: 400}, geom.Point{}, 0); got != want {
+		t.Fatalf("stale reverse gain after SetPos: got %g, want %g", got, want)
+	}
+}
+
+// gridDelivery runs a staggered all-nodes transmission schedule over a
+// deployment long enough to activate the grid (120 × 70 m = 8.33 km),
+// with optional mid-run motion, and returns every listener's event log.
+func gridDelivery(reference, mobile bool) (*Medium, []*recorder) {
+	sim, m, radios, recs := lineMedium(120, 70)
+	m.SetReference(reference)
+	for i, r := range radios {
+		sim.Schedule(des.Time(i)*des.Millisecond/2, func() {
+			r.Transmit(r.ID(), 512, des.Millisecond)
+		})
+	}
+	if mobile {
+		// Shuffle a few radios across cell boundaries between frames so
+		// re-bucketing and gain invalidation happen mid-schedule.
+		for k := 0; k < 10; k++ {
+			r := radios[k*11]
+			dx := float64(k+1) * 300
+			sim.Schedule(des.Time(3*k+1)*des.Millisecond, func() {
+				r.SetPos(geom.Point{X: r.pos.X + dx, Y: 5})
+			})
+		}
+	}
+	sim.Run()
+	return m, recs
+}
+
+// TestReferenceMatchesIndexedDelivery replays the same transmission
+// schedule on the indexed fast path and the exhaustive reference path —
+// static and with mid-run motion — and requires every listener to observe
+// the identical event log.
+func TestReferenceMatchesIndexedDelivery(t *testing.T) {
+	for _, mobile := range []bool{false, true} {
+		mfast, fast := gridDelivery(false, mobile)
+		if mfast.grid == nil {
+			t.Fatal("grid not active: test would not cover the indexed path")
+		}
+		_, slow := gridDelivery(true, mobile)
+		for i := range fast {
+			if !reflect.DeepEqual(fast[i], slow[i]) {
+				t.Fatalf("mobile=%v radio %d logs diverge:\n  fast %+v\n  ref  %+v",
+					mobile, i, fast[i], slow[i])
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 
 	"clnlr/internal/des"
 	"clnlr/internal/geom"
@@ -53,7 +54,10 @@ type Listener interface {
 	RadioTxDone(payload any)
 }
 
-// transmission is one frame in flight.
+// transmission is one frame in flight. Instances are pooled by the Medium:
+// finish returns them to a free list, so steady-state transmissions do not
+// allocate. finishFn is the end-of-airtime callback bound once per pooled
+// object and reused across recycles.
 type transmission struct {
 	src     *Radio
 	payload any
@@ -65,8 +69,9 @@ type transmission struct {
 	snrScale float64
 	// rxPower[i] is the power this transmission contributes at the i-th
 	// entry of touched (parallel slices; small, so slices beat maps).
-	touched []*Radio
-	rxPower []float64
+	touched  []*Radio
+	rxPower  []float64
+	finishFn func()
 }
 
 // arrival is the receiver-side state for the frame a radio is locked onto.
@@ -76,11 +81,18 @@ type arrival struct {
 	corrupted bool
 }
 
+// liveArrival is one ongoing foreign transmission audible at a radio.
+type liveArrival struct {
+	t *transmission
+	p float64
+}
+
 // Radio is a node's attachment to the Medium.
 type Radio struct {
 	m        *Medium
 	id       int
 	pos      geom.Point
+	cell     gridKey // spatial-index bucket (meaningful iff m.grid != nil)
 	channel  int
 	params   Params
 	listener Listener
@@ -90,8 +102,9 @@ type Radio struct {
 	// energy is the aggregate power of all ongoing foreign arrivals.
 	energy float64
 	// live tracks ongoing foreign transmissions audible here, to rebuild
-	// energy without floating-point drift.
-	live map[*transmission]float64
+	// energy without floating-point drift. Concurrent arrivals are few,
+	// so a linear-scanned slice beats a map.
+	live []liveArrival
 	busy bool // last carrier state notified
 }
 
@@ -105,8 +118,18 @@ func (r *Radio) Pos() geom.Point { return r.pos }
 // subsequent transmissions; frames already in flight keep the powers
 // computed at their start — the standard packet-level approximation, exact
 // for any realistic speed (a frame lasts ~2 ms; at 20 m/s that is 4 cm of
-// motion).
-func (r *Radio) SetPos(p geom.Point) { r.pos = p }
+// motion). Moving invalidates the radio's cached link gains and re-buckets
+// it in the spatial index.
+func (r *Radio) SetPos(p geom.Point) {
+	if p == r.pos {
+		return
+	}
+	r.pos = p
+	r.m.invalidateGains(r)
+	if r.m.grid != nil {
+		r.m.grid.update(r)
+	}
+}
 
 // Channel returns the radio's frequency channel (0 by default). Radios on
 // different channels neither decode nor interfere with each other —
@@ -116,7 +139,9 @@ func (r *Radio) Channel() int { return r.channel }
 // SetChannel retunes the radio. It takes effect for subsequent
 // transmissions and arrivals; frames already in flight complete under the
 // channel they started on. Retuning while transmitting is a programming
-// error.
+// error. (Link gains are frequency-independent in these models, so the
+// gain cache survives a retune; the per-transmission channel filter is
+// always evaluated live.)
 func (r *Radio) SetChannel(ch int) {
 	if r.transmitting {
 		panic(fmt.Sprintf("radio %d: SetChannel while transmitting", r.id))
@@ -125,6 +150,14 @@ func (r *Radio) SetChannel(ch int) {
 }
 
 // Medium is the shared channel connecting all radios in one simulation.
+//
+// The transmit hot path is indexed and cached: a spatial cell grid
+// restricts the per-transmission scan to the audible neighbourhood (when
+// the propagation model bounds its range via Ranger), and per-pair link
+// gains are memoised for time-invariant models, invalidated by SetPos.
+// SetReference(true) disables both and restores the exhaustive
+// recompute-everything scan — it must produce bit-identical results and
+// exists as the validation baseline for determinism tests.
 type Medium struct {
 	sim    *des.Sim
 	prop   Propagation
@@ -132,6 +165,18 @@ type Medium struct {
 	// minTrackW: arrivals weaker than this are ignored entirely (they are
 	// far below both noise and CS thresholds).
 	minTrackW float64
+
+	reference bool // exhaustive slow path for validation
+
+	static bool      // prop is time-invariant → gains cacheable
+	gain   []float64 // gainN×gainN cached rx powers; NaN = not yet computed
+	gainN  int
+
+	gridDecided bool
+	grid        *cellGrid
+	candidates  []*Radio // reusable spatial-query buffer
+
+	txPool []*transmission
 
 	// Counters for validation and benchmarks.
 	Transmissions uint64
@@ -141,8 +186,20 @@ type Medium struct {
 
 // NewMedium creates an empty channel using the given propagation model.
 func NewMedium(sim *des.Sim, prop Propagation) *Medium {
-	return &Medium{sim: sim, prop: prop, minTrackW: 1e-14}
+	ti, ok := prop.(TimeInvariant)
+	return &Medium{
+		sim:       sim,
+		prop:      prop,
+		minTrackW: 1e-14,
+		static:    ok && ti.TimeInvariant(),
+	}
 }
+
+// SetReference toggles the exhaustive reference transmit path (full O(N)
+// receiver scan, no gain cache, no spatial index). It exists so tests can
+// prove the indexed path reproduces reference results bit-for-bit; it is
+// not meant for production runs.
+func (m *Medium) SetReference(on bool) { m.reference = on }
 
 // Attach adds a radio at pos and returns it. The listener must be set
 // before the first transmission via SetListener (two-phase because the MAC
@@ -153,9 +210,11 @@ func (m *Medium) Attach(pos geom.Point, params Params) *Radio {
 		id:     len(m.radios),
 		pos:    pos,
 		params: params,
-		live:   make(map[*transmission]float64, 8),
 	}
 	m.radios = append(m.radios, r)
+	if m.grid != nil {
+		m.grid.insert(r)
+	}
 	return r
 }
 
@@ -165,11 +224,138 @@ func (r *Radio) SetListener(l Listener) { r.listener = l }
 // NumRadios returns the number of attached radios.
 func (m *Medium) NumRadios() int { return len(m.radios) }
 
+// rxPower returns the received power at rx for a transmission from tx,
+// through the per-pair gain cache when the propagation model is
+// time-invariant. Cached values are the bit-exact results of the same
+// model call the uncached path would make.
+func (m *Medium) rxPower(tx, rx *Radio) float64 {
+	if !m.static || m.reference {
+		return m.prop.RxPower(tx.params.TxPowerW, tx.pos, rx.pos, m.sim.Now())
+	}
+	n := len(m.radios)
+	if m.gainN != n {
+		m.gain = make([]float64, n*n)
+		for i := range m.gain {
+			m.gain[i] = math.NaN()
+		}
+		m.gainN = n
+	}
+	idx := tx.id*n + rx.id
+	p := m.gain[idx]
+	if p != p { // NaN: not yet computed for this pair
+		p = m.prop.RxPower(tx.params.TxPowerW, tx.pos, rx.pos, m.sim.Now())
+		m.gain[idx] = p
+	}
+	return p
+}
+
+// invalidateGains drops every cached gain involving r (called on SetPos).
+func (m *Medium) invalidateGains(r *Radio) {
+	if m.gainN == 0 {
+		return
+	}
+	if r.id >= m.gainN {
+		m.gainN = 0 // radio attached after cache build; force rebuild
+		m.gain = nil
+		return
+	}
+	n := m.gainN
+	nan := math.NaN()
+	row := m.gain[r.id*n : (r.id+1)*n]
+	for j := range row {
+		row[j] = nan
+	}
+	for j := 0; j < n; j++ {
+		m.gain[j*n+r.id] = nan
+	}
+}
+
+// decideGrid builds the spatial index on the first transmission, once the
+// radio set is known: cell side = the propagation model's conservative
+// maximum trackable range at the strongest attached transmit power. The
+// grid is skipped when the model cannot bound its range or when the
+// deployment is too small for a 3×3 cell query to exclude anyone.
+func (m *Medium) decideGrid() {
+	m.gridDecided = true
+	rg, ok := m.prop.(Ranger)
+	if !ok || len(m.radios) == 0 {
+		return
+	}
+	maxTx := 0.0
+	for _, r := range m.radios {
+		if r.params.TxPowerW > maxTx {
+			maxTx = r.params.TxPowerW
+		}
+	}
+	rng := rg.MaxRange(maxTx, m.minTrackW)
+	if rng <= 0 || math.IsInf(rng, 1) || math.IsNaN(rng) {
+		return
+	}
+	min, max := m.radios[0].pos, m.radios[0].pos
+	for _, r := range m.radios {
+		min.X = math.Min(min.X, r.pos.X)
+		min.Y = math.Min(min.Y, r.pos.Y)
+		max.X = math.Max(max.X, r.pos.X)
+		max.Y = math.Max(max.Y, r.pos.Y)
+	}
+	if max.X-min.X < 3*rng && max.Y-min.Y < 3*rng {
+		return // everyone is in everyone's 3×3 neighbourhood anyway
+	}
+	m.grid = newCellGrid(rng)
+	for _, r := range m.radios {
+		m.grid.insert(r)
+	}
+}
+
+// receivers returns the candidate receiver set for a transmission from r,
+// in ascending ID order (required for deterministic replay). With a grid
+// this is the 3×3 cell neighbourhood; otherwise every radio. A grid query
+// takes ownership of the reusable buffer (m.candidates is cleared) so a
+// re-entrant transmission from a listener callback cannot clobber a scan
+// in progress; TransmitRated hands the buffer back when its loop is done.
+func (m *Medium) receivers(r *Radio) []*Radio {
+	if !m.gridDecided {
+		m.decideGrid()
+	}
+	if m.grid == nil {
+		return m.radios
+	}
+	buf := m.candidates
+	m.candidates = nil
+	return m.grid.query(r, buf[:0])
+}
+
+// newTransmission takes a pooled transmission or allocates the pool's
+// next one.
+func (m *Medium) newTransmission() *transmission {
+	if k := len(m.txPool); k > 0 {
+		t := m.txPool[k-1]
+		m.txPool[k-1] = nil
+		m.txPool = m.txPool[:k-1]
+		return t
+	}
+	t := &transmission{}
+	t.finishFn = func() { t.src.m.finish(t) }
+	return t
+}
+
+// releaseTransmission returns t to the pool. Callers must guarantee no
+// radio still references it (finish clears every arrival first).
+func (m *Medium) releaseTransmission(t *transmission) {
+	t.src = nil
+	t.payload = nil
+	for i := range t.touched {
+		t.touched[i] = nil
+	}
+	t.touched = t.touched[:0]
+	t.rxPower = t.rxPower[:0]
+	m.txPool = append(m.txPool, t)
+}
+
 // RxPowerBetween exposes the propagation computation for topology
 // construction (connectivity graphs use the same model as the channel).
 func (m *Medium) RxPowerBetween(from, to int) float64 {
-	a, b := m.radios[from], m.radios[to]
-	return m.prop.RxPower(a.params.TxPowerW, a.pos, b.pos, m.sim.Now())
+	return m.rxPower(m.radios[from], m.radios[to])
 }
 
 // InRange reports whether a frame from `from` is decodable at `to` in the
@@ -218,18 +404,24 @@ func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScal
 		r.current.corrupted = true
 	}
 
-	t := &transmission{
-		src:      r,
-		payload:  payload,
-		bytes:    bytes,
-		end:      m.sim.Now() + duration,
-		snrScale: snrScale,
+	t := m.newTransmission()
+	t.src = r
+	t.payload = payload
+	t.bytes = bytes
+	t.end = m.sim.Now() + duration
+	t.snrScale = snrScale
+
+	var candidates []*Radio
+	if m.reference {
+		candidates = m.radios
+	} else {
+		candidates = m.receivers(r)
 	}
-	for _, rx := range m.radios {
+	for _, rx := range candidates {
 		if rx == r || rx.channel != r.channel {
 			continue
 		}
-		p := m.prop.RxPower(r.params.TxPowerW, r.pos, rx.pos, m.sim.Now())
+		p := m.rxPower(r, rx)
 		if p < m.minTrackW {
 			continue
 		}
@@ -237,18 +429,23 @@ func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScal
 		t.rxPower = append(t.rxPower, p)
 		rx.arrivalStart(t, p)
 	}
-	m.sim.Schedule(duration, func() { m.finish(t) })
+	if !m.reference && m.grid != nil {
+		m.candidates = candidates // hand the query buffer back for reuse
+	}
+	m.sim.Schedule(duration, t.finishFn)
 }
 
-// finish ends transmission t: concludes reception at every touched radio
-// and releases the sender.
+// finish ends transmission t: concludes reception at every touched radio,
+// releases the sender and recycles t.
 func (m *Medium) finish(t *transmission) {
 	for i, rx := range t.touched {
 		rx.arrivalEnd(t, t.rxPower[i])
 	}
 	src := t.src
+	payload := t.payload
+	m.releaseTransmission(t)
 	src.transmitting = false
-	src.listener.RadioTxDone(t.payload)
+	src.listener.RadioTxDone(payload)
 	// The channel may have become busy underneath the transmission.
 	src.updateCarrier()
 }
@@ -256,7 +453,7 @@ func (m *Medium) finish(t *transmission) {
 // arrivalStart registers an incoming frame at this radio and decides
 // whether to lock onto it or treat it as interference.
 func (r *Radio) arrivalStart(t *transmission, p float64) {
-	r.live[t] = p
+	r.live = append(r.live, liveArrival{t, p})
 	r.energy += p
 
 	switch {
@@ -288,7 +485,15 @@ func (r *Radio) arrivalStart(t *transmission, p float64) {
 // arrivalEnd removes the frame's energy and, if it was the locked frame,
 // delivers it upward.
 func (r *Radio) arrivalEnd(t *transmission, p float64) {
-	delete(r.live, t)
+	for i := range r.live {
+		if r.live[i].t == t {
+			last := len(r.live) - 1
+			r.live[i] = r.live[last]
+			r.live[last] = liveArrival{}
+			r.live = r.live[:last]
+			break
+		}
+	}
 	if len(r.live) == 0 {
 		r.energy = 0 // clamp accumulated floating-point drift
 	} else {

@@ -74,7 +74,7 @@ func DefaultConfig() Config {
 type discovery struct {
 	dst      pkt.NodeID
 	attempts int
-	timer    *des.Event
+	timer    des.Event
 	buffer   []*pkt.Packet
 }
 
@@ -283,9 +283,7 @@ func (c *Core) routeReady(dst pkt.NodeID) {
 	if r == nil {
 		return
 	}
-	if d.timer != nil {
-		d.timer.Cancel()
-	}
+	d.timer.Cancel()
 	delete(c.pending, dst)
 	c.Ctr.DiscoveriesSucceeded++
 	c.tracef("discovery-ok", "target=%v via=%v cost=%.2f flushed=%d", dst, r.NextHop, r.Cost, len(d.buffer))

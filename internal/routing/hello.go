@@ -1,7 +1,7 @@
 package routing
 
 import (
-	"sort"
+	"slices"
 
 	"clnlr/internal/des"
 	"clnlr/internal/pkt"
@@ -23,6 +23,7 @@ type NeighborTable struct {
 	sim     *des.Sim
 	maxAge  des.Time
 	entries map[pkt.NodeID]*neighborInfo
+	scratch []pkt.NodeID // reused by freshIDs; valid until the next call
 }
 
 // NewNeighborTable creates a table whose entries expire after maxAge.
@@ -69,15 +70,17 @@ func (nt *NeighborTable) Count() int {
 
 // freshIDs returns the fresh neighbour IDs in ascending order. Sorted
 // iteration keeps floating-point accumulation (and therefore whole runs)
-// deterministic despite Go's randomised map order.
+// deterministic despite Go's randomised map order. The returned slice is
+// a reused scratch buffer, only valid until the next call.
 func (nt *NeighborTable) freshIDs() []pkt.NodeID {
-	ids := make([]pkt.NodeID, 0, len(nt.entries))
+	ids := nt.scratch[:0]
 	for id, e := range nt.entries {
 		if nt.fresh(e) {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	nt.scratch = ids
 	return ids
 }
 

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"clnlr/internal/des"
+)
+
+// goldenConfigs enumerates scenario shapes chosen to exercise every radio
+// fast path against the retained reference implementation:
+//
+//   - two-ray static: link-gain cache on (paper deployments are smaller
+//     than the models' trackable ranges, so the spatial grid stays off —
+//     grid-active bit-exactness is proven at the medium layer in
+//     internal/radio's TestReferenceMatchesIndexedDelivery)
+//   - log-distance wide: a denser 11×11 deployment under a different
+//     static model, stressing the N×N gain cache
+//   - mobility variants: SetPos must invalidate cached gains mid-run
+//   - nakagami: time-varying fading, cache disabled entirely
+func goldenConfigs() map[string]func(*Scenario) {
+	return map[string]func(*Scenario){
+		"two-ray-static": func(sc *Scenario) {},
+		// Log-distance exp-3 receive range is 80.7 m, so 70 m spacing
+		// keeps the lattice connected.
+		"log-distance-wide": func(sc *Scenario) {
+			sc.PropModel = PropLogDistance
+			sc.Rows, sc.Cols = 11, 11
+			sc.AreaM = 11 * 70
+		},
+		"two-ray-mobile": func(sc *Scenario) {
+			sc.MobilitySpeed = 10
+		},
+		"log-distance-mobile": func(sc *Scenario) {
+			sc.PropModel = PropLogDistance
+			sc.Rows, sc.Cols = 11, 11
+			sc.AreaM = 11 * 70
+			sc.MobilitySpeed = 10
+		},
+		"nakagami": func(sc *Scenario) {
+			sc.PropModel = PropNakagami
+		},
+	}
+}
+
+// TestGoldenIndexedMatchesReference is the determinism contract of the
+// radio hot path: the spatial index, the link-gain cache and the pooled
+// transmission/event machinery must not change a single bit of any run's
+// outcome. Every scheme runs each golden scenario twice on the fast path
+// and once on the exhaustive reference path; all three Results must be
+// identical structs.
+func TestGoldenIndexedMatchesReference(t *testing.T) {
+	for name, mut := range goldenConfigs() {
+		for _, scheme := range AllSchemes() {
+			t.Run(fmt.Sprintf("%s/%s", name, scheme), func(t *testing.T) {
+				sc := quickScenario().WithScheme(scheme)
+				sc.Warmup = 2 * des.Second
+				sc.Measure = 8 * des.Second
+				mut(&sc)
+
+				fast1, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast2, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := sc
+				ref.ReferenceRadio = true
+				slow, err := Run(ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fast1 != fast2 {
+					t.Errorf("fast path not reproducible:\n  run1 %+v\n  run2 %+v", fast1, fast2)
+				}
+				if fast1 != slow {
+					t.Errorf("indexed path diverges from reference:\n  fast %+v\n  ref  %+v", fast1, slow)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenDiscoveryMatchesReference extends the contract to the
+// discovery probe runner used by F-R1/F-R2.
+func TestGoldenDiscoveryMatchesReference(t *testing.T) {
+	sc := quickScenario()
+	sc.Flows = 0
+	fast, err := RunDiscovery(sc, 5, 4*des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sc
+	ref.ReferenceRadio = true
+	slow, err := RunDiscovery(ref, 5, 4*des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast != slow {
+		t.Errorf("discovery indexed path diverges from reference:\n  fast %+v\n  ref  %+v", fast, slow)
+	}
+}
+
+// TestParallelForDrainsAllIndices exercises the counter-draining worker
+// pool shape directly (run under -race by the verify target).
+func TestParallelForDrainsAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 257
+		var hits [n]atomic.Int32
+		ParallelFor(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+	ParallelFor(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+// TestReplicationRace runs a replication fan-out with more workers than
+// cores so the race detector can observe the scheduler's sharing pattern.
+func TestReplicationRace(t *testing.T) {
+	sc := quickScenario()
+	sc.Measure = 5 * des.Second
+	rs, err := RunReplications(sc, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("got %d results, want 6", len(rs))
+	}
+	for i, r := range rs {
+		if r.Seed != sc.Seed+uint64(i) {
+			t.Fatalf("result %d has seed %d, want %d (seed order broken)", i, r.Seed, sc.Seed+uint64(i))
+		}
+	}
+}

@@ -64,6 +64,7 @@ func RunDiscovery(sc Scenario, rounds int, gap des.Time) (DiscoveryResult, error
 	}
 	simk := des.NewSim()
 	medium := radio.NewMedium(simk, sc.propagation())
+	medium.SetReference(sc.ReferenceRadio)
 	nodes := node.BuildNetwork(simk, medium, positions, sc.Radio, sc.Mac,
 		master.Derive(1000), sc.agentFactory())
 	node.StartAll(nodes)

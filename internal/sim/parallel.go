@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"clnlr/internal/stats"
 )
@@ -32,29 +33,49 @@ func RunReplications(sc Scenario, reps, workers int) ([]Result, error) {
 	return results, nil
 }
 
-// parallelFor runs fn(0..n-1) across a bounded worker pool. workers ≤ 0
-// selects GOMAXPROCS. Each index owns its slot in any result slice, so no
-// further synchronisation is needed by callers.
-func parallelFor(n, workers int, fn func(i int)) {
+// ParallelFor runs fn(0..n-1) across a bounded worker pool. workers ≤ 0
+// selects GOMAXPROCS. Only min(workers, n) goroutines are spawned; they
+// drain a shared atomic counter, so a job set of thousands of cells costs
+// a handful of goroutines rather than one per index. Each index owns its
+// slot in any result slice, so no further synchronisation is needed by
+// callers. Exported for cross-package job sets (the experiments scheduler
+// flattens every figure's cells into a single call).
+func ParallelFor(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	if workers == 1 {
+		for i := 0; i < n; i++ {
 			fn(i)
-		}(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
 	}
 	wg.Wait()
 }
+
+// parallelFor is the package-internal spelling of ParallelFor.
+func parallelFor(n, workers int, fn func(i int)) { ParallelFor(n, workers, fn) }
 
 // Metric extracts one scalar from a Result (for summarising replications).
 type Metric func(Result) float64

@@ -102,6 +102,7 @@ func RunTraced(sc Scenario, sink trace.Sink) (Result, error) {
 
 	simk := des.NewSim()
 	medium := radio.NewMedium(simk, sc.propagation())
+	medium.SetReference(sc.ReferenceRadio)
 	nodes := node.BuildNetwork(simk, medium, positions, sc.Radio, sc.Mac,
 		master.Derive(1000), sc.agentFactory())
 	if sink != nil {

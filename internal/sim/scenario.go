@@ -120,6 +120,13 @@ type Scenario struct {
 	TrafficStart des.Time
 	Warmup       des.Time
 	Measure      des.Time
+
+	// ReferenceRadio forces the Medium's exhaustive O(N) receiver scan
+	// and disables its link-gain cache — the retained slow reference path
+	// the determinism tests compare the indexed fast path against.
+	// Results are bit-identical either way; this only trades speed for
+	// simplicity.
+	ReferenceRadio bool
 }
 
 // DefaultScenario returns Table R-1's operating point: a 7×7 grid over
