@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: verify build test race bench-smoke bench
+# Benchmarks gated by bench-compare: the raw-simulator throughput pair plus
+# the runner-level replication sweep.
+BENCH_GATE := BenchmarkSimulatorThroughput|BenchmarkReplicationSweep
+
+.PHONY: verify build test race bench-smoke bench bench-compare bench-baseline
 
 verify: build test race bench-smoke
 
@@ -21,6 +25,23 @@ race:
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x .
 
-# Full throughput numbers (compare against BENCH_PR1.json).
+# Full throughput numbers (compare against BENCH_PR1.json / BENCH_PR2.json).
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkSimulatorThroughput' -benchtime 10x .
+
+# Regression gate: fail if any gated benchmark's ns/op regressed more than
+# the tolerance (default +10%; override with BENCH_TOLERANCE=0.5 or
+# `-tol`) against the committed bench_baseline.json.
+bench-compare:
+	@out=$$(mktemp) && \
+	$(GO) test -run NONE -bench '$(BENCH_GATE)' -benchtime 3x . > $$out && \
+	$(GO) run ./cmd/benchcompare -baseline bench_baseline.json < $$out; \
+	rc=$$?; rm -f $$out; exit $$rc
+
+# Rewrite bench_baseline.json from a fresh run on this machine. Commit the
+# result when the hot path intentionally changed.
+bench-baseline:
+	@out=$$(mktemp) && \
+	$(GO) test -run NONE -bench '$(BENCH_GATE)' -benchtime 3x . > $$out && \
+	$(GO) run ./cmd/benchcompare -baseline bench_baseline.json -update < $$out; \
+	rc=$$?; rm -f $$out; exit $$rc

@@ -176,14 +176,17 @@ func BenchmarkFigR10Mobility(b *testing.B) {
 	}
 }
 
-// benchThroughput runs one scenario per iteration and reports
-// simulated-seconds per wall-second.
+// benchThroughput runs one scenario per iteration through a single warm
+// engine — the replication-worker pattern, where iteration i+1 reuses the
+// fully-allocated network of iteration i — and reports simulated-seconds
+// per wall-second.
 func benchThroughput(b *testing.B, sc sim.Scenario) {
 	b.Helper()
 	b.ReportAllocs()
+	eng := sim.NewEngine()
 	for i := 0; i < b.N; i++ {
 		sc.Seed = uint64(i + 1)
-		if _, err := sim.Run(sc); err != nil {
+		if _, err := eng.Run(sc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,4 +214,26 @@ func BenchmarkSimulatorThroughputLargeN(b *testing.B) {
 	sc.Measure = 10 * des.Second
 	sc.SessionTime = 10 * des.Second
 	benchThroughput(b, sc)
+}
+
+// BenchmarkReplicationSweep measures the runner-level path the experiment
+// suite actually takes: one iteration fans a replication set out across the
+// worker pool via sim.RunReplications, so per-replication setup cost
+// (placement, network build vs warm reset) is part of the measurement, not
+// amortised away. Single worker keeps the number comparable across machines
+// with different core counts.
+func BenchmarkReplicationSweep(b *testing.B) {
+	sc := sim.DefaultScenario()
+	sc.Measure = 5 * des.Second
+	sc.SessionTime = 5 * des.Second
+	const reps = 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(1000*i + 1)
+		if _, err := sim.RunReplications(sc, reps, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simSeconds := (sc.Warmup + sc.Measure).Seconds() * reps * float64(b.N)
+	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
 }

@@ -1,0 +1,172 @@
+// benchcompare is the bench-regression gate behind `make bench-compare`.
+// It reads `go test -bench` output on stdin, compares every benchmark's
+// ns/op against a committed baseline file, and exits non-zero when any
+// benchmark regressed by more than the tolerance.
+//
+//	go test -run NONE -bench . -benchtime 3x . | benchcompare -baseline bench_baseline.json
+//	... | benchcompare -baseline bench_baseline.json -update   # rewrite the baseline
+//
+// The tolerance is a fraction (0.10 = fail above +10% ns/op) taken from
+// -tol, or the BENCH_TOLERANCE environment variable when the flag is left
+// at its default. Benchmarks missing from the baseline are reported but do
+// not fail the gate (add them with -update); baseline entries missing from
+// the input fail it, so the gate cannot silently lose coverage.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference file format.
+type Baseline struct {
+	// Description documents how the numbers were produced.
+	Description string `json:"description"`
+	// NsPerOp maps benchmark name (no -GOMAXPROCS suffix) to baseline ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline JSON file")
+		tol          = flag.Float64("tol", -1, "allowed fractional ns/op regression (default 0.10, or $BENCH_TOLERANCE)")
+		update       = flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	)
+	flag.Parse()
+
+	tolerance := 0.10
+	if env := os.Getenv("BENCH_TOLERANCE"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			fatalf("BENCH_TOLERANCE %q: %v", env, err)
+		}
+		tolerance = v
+	}
+	if *tol >= 0 {
+		tolerance = *tol
+	}
+
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(got) == 0 {
+		fatalf("no benchmark lines on stdin (run `go test -bench` piped into this tool)")
+	}
+
+	if *update {
+		writeBaseline(*baselinePath, got)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	failed := false
+	for _, name := range sortedKeys(got) {
+		ref, ok := base.NsPerOp[name]
+		if !ok {
+			fmt.Printf("NEW   %-40s %14.0f ns/op (not in baseline; add with -update)\n", name, got[name])
+			continue
+		}
+		delta := got[name]/ref - 1
+		status := "ok  "
+		if delta > tolerance {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-40s %14.0f ns/op  baseline %14.0f  %+6.1f%% (limit +%.0f%%)\n",
+			status, name, got[name], ref, 100*delta, 100*tolerance)
+	}
+	for _, name := range sortedKeys(base.NsPerOp) {
+		if _, ok := got[name]; !ok {
+			fmt.Printf("GONE  %-40s baseline entry missing from input\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("bench-compare: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("bench-compare: ok")
+}
+
+// parseBench extracts name → ns/op from `go test -bench` output. The
+// -GOMAXPROCS suffix is stripped so baselines transfer across machines.
+func parseBench(r *os.File) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the log
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// BenchmarkName-8  N  12345 ns/op  [metric unit]...
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		v, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %v", line, err)
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %v", path, err)
+	}
+	return b, nil
+}
+
+func writeBaseline(path string, got map[string]float64) {
+	b := Baseline{
+		Description: "ns/op reference for `make bench-compare`. Regenerate on the target machine with `make bench-baseline`.",
+		NsPerOp:     got,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(got))
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcompare: "+format+"\n", args...)
+	os.Exit(1)
+}

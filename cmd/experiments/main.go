@@ -19,12 +19,14 @@ import (
 	"time"
 
 	"clnlr/internal/experiments"
+	"clnlr/internal/prof"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
+	profFlags := prof.RegisterFlags(nil)
 	var (
 		quick   = flag.Bool("quick", false, "small sweeps and few replications (smoke run)")
 		reps    = flag.Int("reps", 0, "replications per point (default 10, quick 3)")
@@ -35,6 +37,12 @@ func main() {
 		figSel  = flag.String("fig", "", "comma-separated figure IDs to run (default all), e.g. F-R1,F-R3")
 	)
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"clnlr/internal/des"
+	"clnlr/internal/prof"
 	"clnlr/internal/sim"
 	"clnlr/internal/trace"
 )
@@ -22,6 +23,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("meshsim: ")
 
+	profFlags := prof.RegisterFlags(nil)
 	var (
 		scheme     = flag.String("scheme", "clnlr", "routing scheme: flood|gossip|counter|clnlr|clnlr-2hop")
 		topology   = flag.String("topo", "grid", "topology: grid|perturbed-grid|random")
@@ -46,6 +48,12 @@ func main() {
 		dumpConfig = flag.String("dump-config", "", "write the effective scenario as JSON to this file and exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	sc := sim.DefaultScenario()
 	if *configFile != "" {
@@ -157,5 +165,4 @@ func runDiscovery(sc sim.Scenario, rounds, reps, workers int) {
 	p("RREQ per discovery", sim.DMetricRREQ)
 	p("success rate", sim.DMetricSuccess)
 	p("latency (ms)", sim.DMetricLatency)
-	os.Exit(0)
 }

@@ -171,6 +171,13 @@ func New(env routing.Env, params Params) *routing.Core {
 // NewWithConfig builds a CLNLR agent, overriding the shared configuration
 // with CLNLR's cross-layer requirements (HELLO beacons on, reply window).
 func NewWithConfig(env routing.Env, cfg routing.Config, params Params) *routing.Core {
+	s := Spec(cfg, params)
+	return routing.New(env, s.Cfg, s.Policy())
+}
+
+// Spec returns CLNLR's effective configuration and per-run policy
+// constructor (used by warm replication reuse to reset cores in place).
+func Spec(cfg routing.Config, params Params) routing.Spec {
 	if err := Validate(params); err != nil {
 		panic(err)
 	}
@@ -178,7 +185,7 @@ func NewWithConfig(env routing.Env, cfg routing.Config, params Params) *routing.
 	cfg.HelloInterval = params.HelloInterval
 	cfg.TwoHopHello = params.TwoHop
 	cfg.ReplyWindow = params.ReplyWindow
-	return routing.New(env, cfg, &Policy{params: params})
+	return routing.Spec{Cfg: cfg, Policy: func() routing.RREQPolicy { return &Policy{params: params} }}
 }
 
 // Validate checks parameter sanity.

@@ -152,6 +152,25 @@ func (s *Sim) recycle(n *eventNode) {
 // Stop makes Run return after the currently executing handler finishes.
 func (s *Sim) Stop() { s.stopped = true }
 
+// Reset returns the simulation to time zero with an empty event queue,
+// keeping the pooled event storage and heap capacity warm. Every pending
+// event is discarded and every outstanding Event handle — fired, pending
+// or cancelled — goes stale, so state machines holding handles across a
+// Reset observe only safe no-ops. Reset is the foundation of warm
+// replication reuse: a reset Sim schedules events with the same
+// (time, sequence) ordering a fresh NewSim would, so reruns are
+// bit-identical to cold runs.
+func (s *Sim) Reset() {
+	for _, n := range s.events {
+		s.recycle(n)
+	}
+	s.events = s.events[:0]
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+	s.executed = 0
+}
+
 // Run executes events in order until the queue is empty or Stop is called.
 func (s *Sim) Run() { s.RunUntil(maxTime) }
 

@@ -84,14 +84,23 @@ func (p *planner) run() error {
 			jobs = append(jobs, job{c, r})
 		}
 	}
-	sim.ParallelFor(len(jobs), p.cfg.Workers, func(i int) {
+	// Each worker owns one warm engine for its whole share of the job
+	// set: consecutive jobs reuse the allocated network (resetting it in
+	// place) instead of rebuilding it per replication. Results are
+	// bit-identical to cold runs — see the sim.Engine determinism
+	// contract.
+	engines := make([]*sim.Engine, sim.ResolveWorkers(len(jobs), p.cfg.Workers))
+	sim.ParallelForWorkers(len(jobs), p.cfg.Workers, func(worker, i int) {
+		if engines[worker] == nil {
+			engines[worker] = sim.NewEngine()
+		}
 		j := jobs[i]
 		sc := j.c.sc
 		sc.Seed += uint64(j.rep)
 		if j.c.discovery {
-			j.c.dres[j.rep], j.c.errs[j.rep] = sim.RunDiscovery(sc, j.c.rounds, j.c.gap)
+			j.c.dres[j.rep], j.c.errs[j.rep] = engines[worker].RunDiscovery(sc, j.c.rounds, j.c.gap)
 		} else {
-			j.c.results[j.rep], j.c.errs[j.rep] = sim.Run(sc)
+			j.c.results[j.rep], j.c.errs[j.rep] = engines[worker].Run(sc)
 		}
 	})
 	for _, c := range p.cells {

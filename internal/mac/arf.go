@@ -2,23 +2,28 @@ package mac
 
 import "clnlr/internal/pkt"
 
-// arfState tracks ARF link adaptation toward one neighbour.
+// arfState tracks ARF link adaptation toward one neighbour. The zero
+// value means "no contact yet"; arfFor initialises it on first use.
 type arfState struct {
 	idx  int // index into Config.RateLadder
 	succ int // consecutive successes
 	fail int // consecutive failures
+	used bool
 }
 
-// arfFor returns (lazily creating) the adaptation state for a neighbour,
-// starting at the configured reference rate.
+// arfFor returns (lazily initialising) the adaptation state for a
+// neighbour, starting at the configured reference rate. The returned
+// pointer aliases the dense per-peer slice and is only valid until the
+// next arfFor call (growth may move the backing array).
 func (m *Mac) arfFor(dst pkt.NodeID) *arfState {
-	if m.arf == nil {
-		m.arf = make(map[pkt.NodeID]*arfState)
+	i := int(dst)
+	if i >= len(m.arf) {
+		m.growPeers(i)
 	}
-	st, ok := m.arf[dst]
-	if !ok {
-		st = &arfState{idx: m.referenceRateIdx()}
-		m.arf[dst] = st
+	st := &m.arf[i]
+	if !st.used {
+		st.idx = m.referenceRateIdx()
+		st.used = true
 	}
 	return st
 }

@@ -38,11 +38,13 @@ type loadEstimator struct {
 	ewmaBusy  float64
 }
 
-func newLoadEstimator(cfg *Config, sim *des.Sim) *loadEstimator {
-	le := &loadEstimator{cfg: cfg, sim: sim, qCap: float64(cfg.QueueCap)}
+// init (re-)initialises the estimator in place; cfg must outlive the
+// estimator (the Mac passes a pointer to its own config field so a config
+// swap on Reset is picked up automatically).
+func (le *loadEstimator) init(cfg *Config, sim *des.Sim) {
+	*le = loadEstimator{cfg: cfg, sim: sim, qCap: float64(cfg.QueueCap)}
 	le.queueTW.Reset(int64(sim.Now()), 0)
 	le.windowStart = sim.Now()
-	return le
 }
 
 // start begins periodic sampling (called once the node stack is wired).

@@ -22,6 +22,10 @@ import (
 type Upper interface {
 	// MacReceive delivers a packet that arrived intact and passed
 	// duplicate filtering. from is the transmitting neighbour.
+	// Broadcast deliveries share one packet object across all
+	// receivers (and with the sender): the callee must treat it as
+	// immutable and clone before mutating or forwarding. Unicast
+	// deliveries are private clones the callee may mutate freely.
 	MacReceive(p *pkt.Packet, from pkt.NodeID)
 	// MacTxDone reports the fate of a previously submitted packet:
 	// ok=true when the broadcast finished or the unicast was acknowledged,
@@ -99,11 +103,14 @@ type Mac struct {
 	// arriving within SIFS of the previous one (every airtime ≫ SIFS).
 	ackDst pkt.NodeID
 
+	// Per-peer state, dense by NodeID (node IDs are 0..N-1): lastSeq[i]
+	// is the last unicast sequence number heard from peer i (-1 = none),
+	// arf[i] its link-adaptation state. Both grow on first contact.
 	seq     uint16
-	lastSeq map[pkt.NodeID]int32
-	arf     map[pkt.NodeID]*arfState
+	lastSeq []int32
+	arf     []arfState
 
-	le     *loadEstimator
+	le     loadEstimator
 	energy energyMeter
 
 	// Ctr exposes event counts to the measurement layer.
@@ -114,15 +121,9 @@ type Mac struct {
 // network identity; src a private random stream for backoff draws.
 func New(cfg Config, sim *des.Sim, r *radio.Radio, id pkt.NodeID, src *rng.Source) *Mac {
 	m := &Mac{
-		cfg:     cfg,
-		sim:     sim,
-		radio:   r,
-		src:     src,
-		id:      id,
-		cw:      cfg.CWMin,
-		lastSeq: make(map[pkt.NodeID]int32),
-		le:      newLoadEstimator(&cfg, sim),
-		energy:  energyMeter{params: DefaultEnergyParams()},
+		sim:   sim,
+		radio: r,
+		id:    id,
 	}
 	m.onNavExpireFn = m.onNavExpire
 	m.onDeferDoneFn = m.onDeferDone
@@ -131,8 +132,50 @@ func New(cfg Config, sim *des.Sim, r *radio.Radio, id pkt.NodeID, src *rng.Sourc
 	m.onCtsTimeoutFn = m.onCtsTimeout
 	m.sendCurDataFn = m.sendCurData
 	m.sendAckFn = func() { m.sendAck(m.ackDst) }
+	m.Reset(cfg, src)
 	r.SetListener(m)
 	return m
+}
+
+// Reset re-initialises the MAC for a fresh run with a new configuration
+// and random stream, reusing the dense per-peer state and queue backing
+// storage (warm replication reuse). The bound simulation, radio and upper
+// layer survive; every mutable protocol state returns to its post-New
+// value, so a reset MAC behaves bit-identically to a freshly built one.
+// Call only between runs, with the shared des.Sim already Reset.
+func (m *Mac) Reset(cfg Config, src *rng.Source) {
+	m.cfg = cfg
+	m.src = src
+	for i := range m.queue {
+		m.queue[i] = nil
+	}
+	m.queue = m.queue[:0]
+	m.cur = nil
+	m.curBuf = outgoing{}
+	m.state = accIdle
+	m.cw = cfg.CWMin
+	m.backoffSlots = 0
+	m.backoffStart = 0
+	m.backoffEv = des.Event{}
+	m.deferEv = des.Event{}
+	m.ackEv = des.Event{}
+	m.ctsEv = des.Event{}
+	m.carrierBusy = false
+	m.useEIFS = false
+	m.pendingAckTx = false
+	m.navUntil = 0
+	m.navEv = des.Event{}
+	m.ackDst = 0
+	m.seq = 0
+	for i := range m.lastSeq {
+		m.lastSeq[i] = -1
+	}
+	for i := range m.arf {
+		m.arf[i] = arfState{}
+	}
+	m.le.init(&m.cfg, m.sim)
+	m.energy = energyMeter{params: DefaultEnergyParams()}
+	m.Ctr = Counters{}
 }
 
 // SetUpper installs the network layer (two-phase: the routing agent needs
@@ -417,15 +460,36 @@ func (m *Mac) sendAck(dst pkt.NodeID) {
 	m.noteRadioState()
 }
 
+// Preallocate sizes the dense per-peer state for a network of n nodes, so
+// the hot path never grows it incrementally.
+func (m *Mac) Preallocate(n int) {
+	if n > 0 {
+		m.growPeers(n - 1)
+	}
+}
+
+// growPeers extends the dense per-peer slices (lastSeq, arf) to cover id.
+func (m *Mac) growPeers(id int) {
+	for len(m.lastSeq) <= id {
+		m.lastSeq = append(m.lastSeq, -1)
+	}
+	for len(m.arf) <= id {
+		m.arf = append(m.arf, arfState{})
+	}
+}
+
 // isDup reports (and records) whether a unicast frame repeats the last
 // sequence number seen from src — the signature of a retransmission whose
 // ACK was lost.
 func (m *Mac) isDup(src pkt.NodeID, seq uint16) bool {
-	last, ok := m.lastSeq[src]
-	if ok && last == int32(seq) {
+	i := int(src)
+	if i >= len(m.lastSeq) {
+		m.growPeers(i)
+	}
+	if m.lastSeq[i] == int32(seq) {
 		return true
 	}
-	m.lastSeq[src] = int32(seq)
+	m.lastSeq[i] = int32(seq)
 	return false
 }
 
@@ -554,7 +618,12 @@ func (m *Mac) RadioReceive(payload any, bytes int, ok bool) {
 		case pkt.Broadcast:
 			m.Ctr.RxDelivered++
 			if m.upper != nil {
-				m.upper.MacReceive(f.Payload.Clone(), f.Src)
+				// Broadcast deliveries share the sender's packet
+				// across every receiver instead of cloning per
+				// receiver: broadcast kinds (RREQ, RERR, HELLO)
+				// are read-only on arrival — any forward clones
+				// first — so the shared body is never mutated.
+				m.upper.MacReceive(f.Payload, f.Src)
 			}
 		case m.id:
 			m.scheduleAck(f.Src)

@@ -128,7 +128,10 @@ func TestBroadcastReachesAllNeighbours(t *testing.T) {
 	}
 }
 
-func TestBroadcastDeliversClones(t *testing.T) {
+func TestBroadcastDeliversSharedPayload(t *testing.T) {
+	// Broadcast deliveries intentionally share the sender's packet
+	// object across every receiver (the Upper contract declares it
+	// immutable); the MAC must not burn a clone per receiver.
 	sim, macs, uppers := macTestbed(t, DefaultConfig(),
 		geom.Point{X: 0}, geom.Point{X: 200}, geom.Point{X: -200})
 	p := pkt.NewRREQ(pkt.RREQBody{Origin: 0, Target: 9, ID: 1}, 0, 30)
@@ -137,12 +140,8 @@ func TestBroadcastDeliversClones(t *testing.T) {
 
 	r1 := uppers[1].received[0].p
 	r2 := uppers[2].received[0].p
-	if r1 == r2 || r1.RREQ == r2.RREQ {
-		t.Fatal("broadcast receivers share packet storage")
-	}
-	r1.RREQ.HopCount = 77
-	if r2.RREQ.HopCount == 77 || p.RREQ.HopCount == 77 {
-		t.Fatal("mutating one receiver's copy leaked to another")
+	if r1 != p || r2 != p {
+		t.Fatal("broadcast receivers did not share the sender's packet")
 	}
 }
 

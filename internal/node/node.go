@@ -64,7 +64,40 @@ func BuildNetwork(
 			Agent: factory(env),
 		}
 	}
+	// Node IDs are dense 0..N-1 and N is known here: size every dense
+	// per-peer structure up front so no run ever grows one on the hot
+	// path (the storage persists across warm resets).
+	for _, n := range nodes {
+		n.Mac.Preallocate(len(nodes))
+		n.Agent.Preallocate(len(nodes))
+	}
 	return nodes
+}
+
+// ResetNetwork rebinds an existing network for a fresh run on the same
+// (reset) simulation kernel and medium. Positions, MAC state and routing
+// agents are reset in place, deriving per-node RNG streams on exactly the
+// schedule BuildNetwork uses — (i,1) for the MAC, (i,2) for the agent —
+// so a warm rerun is bit-identical to a cold build from the same master.
+// The caller must have reset the des.Sim and the radio.Medium first.
+func ResetNetwork(
+	nodes []*Node,
+	positions []geom.Point,
+	macCfg mac.Config,
+	master *rng.Source,
+	spec routing.Spec,
+) {
+	for i, n := range nodes {
+		n.Pos = positions[i]
+		n.Mac.Reset(macCfg, master.Derive(uint64(i), 1))
+		env := routing.Env{
+			Sim: n.Agent.Env.Sim,
+			Mac: n.Mac,
+			ID:  n.ID,
+			Rng: master.Derive(uint64(i), 2),
+		}
+		n.Agent.Reset(env, spec.Cfg, spec.Policy())
+	}
 }
 
 // StartAll starts every node's periodic machinery (load estimators, HELLO

@@ -1,0 +1,95 @@
+// Package prof wires the standard pprof machinery into the command-line
+// tools with three flags shared by every binary: -cpuprofile and
+// -memprofile write one-shot profiles for `go tool pprof`, and -pprof
+// serves the live net/http/pprof endpoints for poking at a long sweep
+// while it runs.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values for one binary.
+type Flags struct {
+	cpu  *string
+	mem  *string
+	addr *string
+
+	cpuFile *os.File
+}
+
+// RegisterFlags installs -cpuprofile, -memprofile and -pprof on fs (the
+// default flag set when fs is nil). Call before flag.Parse.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	var f Flags
+	f.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	f.mem = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	f.addr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return &f
+}
+
+// Start begins CPU profiling and the pprof HTTP server as requested. It
+// returns a stop function that finishes the CPU profile and writes the
+// memory profile; call it (usually via defer) before the process exits.
+// Start is a no-op returning a no-op stop when no profiling flag was set.
+func (f *Flags) Start() (stop func(), err error) {
+	if *f.cpu != "" {
+		f.cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f.cpuFile); err != nil {
+			f.cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	if *f.addr != "" {
+		ln, err := net.Listen("tcp", *f.addr)
+		if err != nil {
+			f.stopCPU()
+			return nil, fmt.Errorf("pprof listener: %w", err)
+		}
+		log.Printf("pprof server on http://%s/debug/pprof/", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	return f.stop, nil
+}
+
+func (f *Flags) stopCPU() {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		f.cpuFile.Close()
+		f.cpuFile = nil
+	}
+}
+
+func (f *Flags) stop() {
+	f.stopCPU()
+	if *f.mem != "" {
+		out, err := os.Create(*f.mem)
+		if err != nil {
+			log.Printf("memprofile: %v", err)
+			return
+		}
+		defer out.Close()
+		runtime.GC() // flush garbage so the profile shows live heap
+		if err := pprof.Lookup("allocs").WriteTo(out, 0); err != nil {
+			log.Printf("memprofile: %v", err)
+		}
+	}
+}

@@ -69,8 +69,13 @@ type transmission struct {
 	snrScale float64
 	// rxPower[i] is the power this transmission contributes at the i-th
 	// entry of touched (parallel slices; small, so slices beat maps).
-	touched  []*Radio
-	rxPower  []float64
+	touched []*Radio
+	rxPower []float64
+	// liveAt[i] is the current index of this transmission in
+	// touched[i].live, kept in sync by arrivalEnd's swap-delete so
+	// removal is O(1) instead of a scan (receivers in a flood can hold
+	// dozens of concurrent arrivals).
+	liveAt   []int32
 	finishFn func()
 }
 
@@ -85,6 +90,9 @@ type arrival struct {
 type liveArrival struct {
 	t *transmission
 	p float64
+	// ti is this radio's index in t.touched, so a swap-delete that moves
+	// this entry can update t.liveAt[ti] in O(1).
+	ti int32
 }
 
 // Radio is a node's attachment to the Medium.
@@ -200,6 +208,45 @@ func NewMedium(sim *des.Sim, prop Propagation) *Medium {
 // prove the indexed path reproduces reference results bit-for-bit; it is
 // not meant for production runs.
 func (m *Medium) SetReference(on bool) { m.reference = on }
+
+// Reset prepares the medium for a fresh run under a (possibly different)
+// propagation model while keeping the attached radios, the transmission
+// pool and the gain-cache backing array allocated. positions re-places the
+// radios and must cover exactly the attached set; listeners, parameters
+// and dense IDs survive. After Reset the medium behaves bit-identically to
+// a freshly built one: the gain cache is fully invalidated, the spatial
+// index is re-decided on the next transmission, and the validation
+// counters restart from zero.
+func (m *Medium) Reset(prop Propagation, positions []geom.Point) {
+	if len(positions) != len(m.radios) {
+		panic(fmt.Sprintf("radio: Reset with %d positions for %d radios",
+			len(positions), len(m.radios)))
+	}
+	m.prop = prop
+	ti, ok := prop.(TimeInvariant)
+	m.static = ok && ti.TimeInvariant()
+	if m.gainN > 0 {
+		nan := math.NaN()
+		for i := range m.gain {
+			m.gain[i] = nan
+		}
+	}
+	m.gridDecided = false
+	m.grid = nil
+	m.Transmissions, m.Deliveries, m.Corruptions = 0, 0, 0
+	for i, r := range m.radios {
+		r.pos = positions[i]
+		r.channel = 0
+		r.transmitting = false
+		r.current = arrival{}
+		r.energy = 0
+		for j := range r.live {
+			r.live[j] = liveArrival{}
+		}
+		r.live = r.live[:0]
+		r.busy = false
+	}
+}
 
 // Attach adds a radio at pos and returns it. The listener must be set
 // before the first transmission via SetListener (two-phase because the MAC
@@ -349,6 +396,7 @@ func (m *Medium) releaseTransmission(t *transmission) {
 	}
 	t.touched = t.touched[:0]
 	t.rxPower = t.rxPower[:0]
+	t.liveAt = t.liveAt[:0]
 	m.txPool = append(m.txPool, t)
 }
 
@@ -427,7 +475,8 @@ func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScal
 		}
 		t.touched = append(t.touched, rx)
 		t.rxPower = append(t.rxPower, p)
-		rx.arrivalStart(t, p)
+		t.liveAt = append(t.liveAt, int32(len(rx.live)))
+		rx.arrivalStart(t, p, int32(len(t.touched)-1))
 	}
 	if !m.reference && m.grid != nil {
 		m.candidates = candidates // hand the query buffer back for reuse
@@ -439,7 +488,7 @@ func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScal
 // releases the sender and recycles t.
 func (m *Medium) finish(t *transmission) {
 	for i, rx := range t.touched {
-		rx.arrivalEnd(t, t.rxPower[i])
+		rx.arrivalEnd(t, t.rxPower[i], t.liveAt[i])
 	}
 	src := t.src
 	payload := t.payload
@@ -451,9 +500,10 @@ func (m *Medium) finish(t *transmission) {
 }
 
 // arrivalStart registers an incoming frame at this radio and decides
-// whether to lock onto it or treat it as interference.
-func (r *Radio) arrivalStart(t *transmission, p float64) {
-	r.live = append(r.live, liveArrival{t, p})
+// whether to lock onto it or treat it as interference. ti is this radio's
+// index in t.touched (the caller just appended it).
+func (r *Radio) arrivalStart(t *transmission, p float64, ti int32) {
+	r.live = append(r.live, liveArrival{t, p, ti})
 	r.energy += p
 
 	switch {
@@ -483,17 +533,17 @@ func (r *Radio) arrivalStart(t *transmission, p float64) {
 }
 
 // arrivalEnd removes the frame's energy and, if it was the locked frame,
-// delivers it upward.
-func (r *Radio) arrivalEnd(t *transmission, p float64) {
-	for i := range r.live {
-		if r.live[i].t == t {
-			last := len(r.live) - 1
-			r.live[i] = r.live[last]
-			r.live[last] = liveArrival{}
-			r.live = r.live[:last]
-			break
-		}
+// delivers it upward. pos is the frame's index in r.live (tracked by the
+// transmission's liveAt, so no scan is needed).
+func (r *Radio) arrivalEnd(t *transmission, p float64, pos int32) {
+	last := len(r.live) - 1
+	if int(pos) != last {
+		moved := r.live[last]
+		r.live[pos] = moved
+		moved.t.liveAt[moved.ti] = pos
 	}
+	r.live[last] = liveArrival{}
+	r.live = r.live[:last]
 	if len(r.live) == 0 {
 		r.energy = 0 // clamp accumulated floating-point drift
 	} else {
@@ -514,13 +564,19 @@ func (r *Radio) arrivalEnd(t *transmission, p float64) {
 	r.updateCarrier()
 }
 
-// updateCarrier pushes carrier-sense transitions to the listener.
+// updateCarrier pushes carrier-sense transitions to the listener. The
+// no-transition case is the overwhelmingly common one and must inline into
+// the arrival paths; the flip itself is outlined.
 func (r *Radio) updateCarrier() {
 	b := r.energy >= r.params.CsThreshW
 	if b != r.busy {
-		r.busy = b
-		if r.listener != nil {
-			r.listener.RadioCarrier(b)
-		}
+		r.carrierFlip(b)
+	}
+}
+
+func (r *Radio) carrierFlip(b bool) {
+	r.busy = b
+	if r.listener != nil {
+		r.listener.RadioCarrier(b)
 	}
 }

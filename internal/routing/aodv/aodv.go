@@ -34,8 +34,15 @@ func New(env routing.Env) *routing.Core {
 // NewWithConfig builds an AODV agent with explicit shared configuration
 // (the policy itself has no knobs).
 func NewWithConfig(env routing.Env, cfg routing.Config) *routing.Core {
+	s := Spec(cfg)
+	return routing.New(env, s.Cfg, s.Policy())
+}
+
+// Spec returns the scheme's effective configuration and per-run policy
+// constructor (used by warm replication reuse to reset cores in place).
+func Spec(cfg routing.Config) routing.Spec {
 	cfg.ReplyWindow = 0
-	return routing.New(env, cfg, Policy{})
+	return routing.Spec{Cfg: cfg, Policy: func() routing.RREQPolicy { return Policy{} }}
 }
 
 var _ routing.RREQPolicy = Policy{}

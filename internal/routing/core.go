@@ -91,6 +91,16 @@ type replyWait struct {
 	best replyCandidate
 }
 
+// Spec bundles a scheme's routing configuration with a constructor for
+// its per-run policy. Policies may carry mutable per-run state (the
+// counter scheme's assessment map, for example), so warm replication
+// reuse rebuilds the policy for every run while resetting everything
+// else in place.
+type Spec struct {
+	Cfg    Config
+	Policy func() RREQPolicy
+}
+
 // Core is the shared routing engine. One Core per node; it implements
 // mac.Upper and drives the scheme-specific RREQPolicy.
 type Core struct {
@@ -98,14 +108,17 @@ type Core struct {
 	Cfg    Config
 	policy RREQPolicy
 
-	table      *Table
-	dup        *DupCache
-	nbrs       *NeighborTable
-	seq        uint32
-	rreqID     uint32
-	pending    map[pkt.NodeID]*discovery
-	replyWaits map[rreqKey]*replyWait
-	hello      *des.Ticker
+	table  *Table
+	dup    *DupCache
+	nbrs   *NeighborTable
+	seq    uint32
+	rreqID uint32
+	// pending holds in-progress discoveries, dense by destination ID
+	// (nil = none); pendingCount tracks occupancy.
+	pending      []*discovery
+	pendingCount int
+	replyWaits   map[rreqKey]*replyWait
+	hello        *des.Ticker
 
 	// Ctr tallies this node's routing events.
 	Ctr Counters
@@ -113,19 +126,81 @@ type Core struct {
 
 // New builds a routing core around the node environment and scheme policy.
 func New(env Env, cfg Config, policy RREQPolicy) *Core {
-	maxAge := cfg.HelloInterval * des.Time(cfg.HelloLossAllowance+1)
 	c := &Core{
-		Env:        env,
-		Cfg:        cfg,
-		policy:     policy,
 		table:      NewTable(env.Sim),
 		dup:        NewDupCache(env.Sim, cfg.DupHorizon),
-		nbrs:       NewNeighborTable(env.Sim, maxAge),
-		pending:    make(map[pkt.NodeID]*discovery),
+		nbrs:       NewNeighborTable(env.Sim, 0),
 		replyWaits: make(map[rreqKey]*replyWait),
 	}
-	env.Mac.SetUpper(c)
+	c.Reset(env, cfg, policy)
 	return c
+}
+
+// Reset rebinds the core for a fresh run without reallocating its grown
+// state (routing table slots, duplicate-cache rings, neighbour storage).
+// The environment must reference the same simulation the core was built
+// on — warm replication reuse resets the des.Sim in place, so every
+// component keeps its kernel pointer. Deliver/Trace sinks come in with
+// the new Env (the traffic layer reinstalls sinks per run).
+func (c *Core) Reset(env Env, cfg Config, policy RREQPolicy) {
+	if env.Sim != c.table.sim {
+		panic("routing: Reset with a different simulation kernel")
+	}
+	c.Env = env
+	c.Cfg = cfg
+	c.policy = policy
+	c.table.Reset()
+	c.dup.Reset(cfg.DupHorizon)
+	c.nbrs.Reset(cfg.HelloInterval * des.Time(cfg.HelloLossAllowance+1))
+	c.seq = 0
+	c.rreqID = 0
+	for i := range c.pending {
+		c.pending[i] = nil
+	}
+	c.pendingCount = 0
+	clear(c.replyWaits)
+	c.hello = nil
+	c.Ctr = Counters{}
+	env.Mac.SetUpper(c)
+}
+
+// Preallocate sizes every dense per-node structure (routing-table slots,
+// duplicate-cache rings, neighbour storage) for a network of n nodes, so
+// the hot path never grows them incrementally. Growth stays lazy for
+// callers that skip it.
+func (c *Core) Preallocate(n int) {
+	if n <= 0 {
+		return
+	}
+	c.table.grow(n - 1)
+	c.dup.grow(n - 1)
+	c.nbrs.grow(n - 1)
+}
+
+// pendingFor returns the in-progress discovery for dst, or nil.
+func (c *Core) pendingFor(dst pkt.NodeID) *discovery {
+	if dst < 0 || int(dst) >= len(c.pending) {
+		return nil
+	}
+	return c.pending[dst]
+}
+
+// setPending installs d as the discovery for dst, growing the dense
+// slice on first use of that destination.
+func (c *Core) setPending(dst pkt.NodeID, d *discovery) {
+	for len(c.pending) <= int(dst) {
+		c.pending = append(c.pending, nil)
+	}
+	c.pending[dst] = d
+	c.pendingCount++
+}
+
+// clearPending removes the discovery for dst.
+func (c *Core) clearPending(dst pkt.NodeID) {
+	if dst >= 0 && int(dst) < len(c.pending) && c.pending[dst] != nil {
+		c.pending[dst] = nil
+		c.pendingCount--
+	}
 }
 
 // Start launches periodic activity (HELLO beacons when enabled).
@@ -191,10 +266,10 @@ func (c *Core) forwardData(p *pkt.Packet, r *Route) {
 }
 
 func (c *Core) bufferAndDiscover(p *pkt.Packet) {
-	d, ok := c.pending[p.Dst]
-	if !ok {
+	d := c.pendingFor(p.Dst)
+	if d == nil {
 		d = &discovery{dst: p.Dst}
-		c.pending[p.Dst] = d
+		c.setPending(p.Dst, d)
 		c.Ctr.DiscoveriesStarted++
 		c.originateRREQ(d)
 	}
@@ -260,13 +335,13 @@ func (c *Core) originateRREQ(d *discovery) {
 }
 
 func (c *Core) discoveryTimeout(d *discovery) {
-	if c.pending[d.dst] != d {
+	if c.pendingFor(d.dst) != d {
 		return // already resolved
 	}
 	if d.attempts >= c.maxDiscoveryAttempts() {
 		c.Ctr.DiscoveriesFailed++
 		c.Ctr.DropNoRoute += uint64(len(d.buffer))
-		delete(c.pending, d.dst)
+		c.clearPending(d.dst)
 		c.tracef("discovery-fail", "target=%v buffered=%d", d.dst, len(d.buffer))
 		return
 	}
@@ -275,8 +350,8 @@ func (c *Core) discoveryTimeout(d *discovery) {
 
 // routeReady flushes buffered traffic once discovery for dst succeeds.
 func (c *Core) routeReady(dst pkt.NodeID) {
-	d, ok := c.pending[dst]
-	if !ok {
+	d := c.pendingFor(dst)
+	if d == nil {
 		return
 	}
 	r := c.table.Lookup(dst)
@@ -284,7 +359,7 @@ func (c *Core) routeReady(dst pkt.NodeID) {
 		return
 	}
 	d.timer.Cancel()
-	delete(c.pending, dst)
+	c.clearPending(dst)
 	c.Ctr.DiscoveriesSucceeded++
 	c.tracef("discovery-ok", "target=%v via=%v cost=%.2f flushed=%d", dst, r.NextHop, r.Cost, len(d.buffer))
 	for _, p := range d.buffer {

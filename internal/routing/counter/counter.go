@@ -79,11 +79,22 @@ func New(env routing.Env, params Params) *routing.Core {
 // NewWithConfig builds a counter-based agent with explicit shared
 // configuration.
 func NewWithConfig(env routing.Env, cfg routing.Config, params Params) *routing.Core {
+	s := Spec(cfg, params)
+	return routing.New(env, s.Cfg, s.Policy())
+}
+
+// Spec returns the scheme's effective configuration and per-run policy
+// constructor. The policy carries mutable per-flood assessment state, so
+// warm replication reuse must build a fresh one every run — exactly what
+// the Policy closure provides.
+func Spec(cfg routing.Config, params Params) routing.Spec {
 	cfg.ReplyWindow = 0
-	return routing.New(env, cfg, &Policy{
-		params:  params,
-		pending: make(map[floodKey]*assessment),
-	})
+	return routing.Spec{Cfg: cfg, Policy: func() routing.RREQPolicy {
+		return &Policy{
+			params:  params,
+			pending: make(map[floodKey]*assessment),
+		}
+	}}
 }
 
 var _ routing.RREQPolicy = (*Policy)(nil)

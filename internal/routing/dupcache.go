@@ -11,48 +11,125 @@ type rreqKey struct {
 	id     uint32
 }
 
+// dupRingSize is how many recent floods per origin the cache remembers.
+// RREQ IDs are sequential per origin and floods are short-lived, so a
+// handful of live entries per origin covers even aggressive retry
+// schedules; overflow simply forgets the oldest flood, which at worst
+// causes one extra (harmless, still deterministic) rebroadcast.
+const dupRingSize = 8
+
+// dupEntry is one remembered flood; the zero value (exp == 0) is an
+// empty slot, since an entry is live only while exp > now.
+type dupEntry struct {
+	id  uint32
+	exp des.Time
+}
+
+// dupRing is the fixed-size ring of recent floods from one origin.
+type dupRing struct {
+	ent  [dupRingSize]dupEntry
+	next uint8 // round-robin victim when no expired slot is free
+}
+
 // DupCache remembers recently seen RREQ floods so each node processes a
-// flood once. Entries expire after a fixed horizon; expired entries are
-// reaped opportunistically on insertion to keep memory bounded without a
-// timer per entry.
+// flood once. Origins are dense node IDs, so the cache is a slice of
+// small fixed-size rings indexed by origin — no map traffic on the
+// flood-processing hot path. An entry inserted at time t is a duplicate
+// for lookups while exp = t+horizon is strictly in the future (exp > now);
+// at exactly t+horizon it has expired. Expired slots are reclaimed on
+// insertion and by a periodic opportunistic sweep.
 type DupCache struct {
 	sim     *des.Sim
 	horizon des.Time
-	seen    map[rreqKey]des.Time
+	rings   []dupRing
 	// reapAt is the next time a full sweep is worthwhile.
 	reapAt des.Time
 }
 
 // NewDupCache creates a cache whose entries live for horizon.
 func NewDupCache(sim *des.Sim, horizon des.Time) *DupCache {
-	return &DupCache{
-		sim:     sim,
-		horizon: horizon,
-		seen:    make(map[rreqKey]des.Time),
-		reapAt:  horizon,
+	d := &DupCache{sim: sim}
+	d.Reset(horizon)
+	return d
+}
+
+// Reset empties the cache in place and rebinds the horizon, keeping the
+// grown ring storage for warm replication reuse. The first sweep is due
+// one horizon after the construction-time (or reset-time) clock.
+func (d *DupCache) Reset(horizon des.Time) {
+	d.horizon = horizon
+	for i := range d.rings {
+		d.rings[i] = dupRing{}
 	}
+	d.reapAt = d.sim.Now() + horizon
 }
 
 // Seen records the flood and reports whether it had already been seen
 // (and not yet expired).
 func (d *DupCache) Seen(origin pkt.NodeID, id uint32) bool {
-	now := d.sim.Now()
-	k := rreqKey{origin, id}
-	if exp, ok := d.seen[k]; ok && exp > now {
-		return true
+	if origin < 0 {
+		return false
 	}
-	d.seen[k] = now + d.horizon
+	now := d.sim.Now()
 	if now >= d.reapAt {
-		for key, exp := range d.seen {
-			if exp <= now {
-				delete(d.seen, key)
-			}
-		}
+		d.sweep(now)
 		d.reapAt = now + d.horizon
 	}
+	o := int(origin)
+	if o >= len(d.rings) {
+		d.grow(o)
+	}
+	r := &d.rings[o]
+	slot := -1
+	for i := range r.ent {
+		e := &r.ent[i]
+		if e.exp > now {
+			if e.id == id {
+				return true
+			}
+		} else if slot < 0 {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		slot = int(r.next)
+		r.next = (r.next + 1) % dupRingSize
+	}
+	r.ent[slot] = dupEntry{id: id, exp: now + d.horizon}
 	return false
 }
 
-// Len returns the number of cached entries (including not-yet-reaped
+// grow extends the ring array to cover origin index o.
+func (d *DupCache) grow(o int) {
+	for len(d.rings) <= o {
+		d.rings = append(d.rings, dupRing{})
+	}
+}
+
+// sweep clears every slot whose entry has expired (exp <= now) — the
+// exact complement of the liveness rule in Seen, so the sweep can never
+// evict an entry a concurrent lookup would still report as seen.
+func (d *DupCache) sweep(now des.Time) {
+	for i := range d.rings {
+		r := &d.rings[i]
+		for j := range r.ent {
+			if r.ent[j].exp <= now {
+				r.ent[j] = dupEntry{}
+			}
+		}
+	}
+}
+
+// Len returns the number of occupied slots (including not-yet-reaped
 // expired ones); exposed for tests.
-func (d *DupCache) Len() int { return len(d.seen) }
+func (d *DupCache) Len() int {
+	n := 0
+	for i := range d.rings {
+		for _, e := range d.rings[i].ent {
+			if e.exp != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+)
+
+// TestTableUpdateSeqWraparound pins AODV freshness across 32-bit sequence
+// number wraparound (RFC 3561 §6.1 circular comparison): a post-wrap
+// sequence number close to zero is fresher than one close to MaxUint32,
+// and the pre-wrap number must not displace it back.
+func TestTableUpdateSeqWraparound(t *testing.T) {
+	sim := des.NewSim()
+	tb := NewTable(sim)
+	const preWrap = uint32(0xFFFFFFFE)
+	tb.Update(route(5, 2, preWrap, 2, 2, des.Second))
+
+	// 3 ≡ preWrap+5 after wrap: fresher despite the worse metric.
+	if !tb.Update(route(5, 3, 3, 9, 9, des.Second)) {
+		t.Fatal("post-wraparound sequence number rejected as stale")
+	}
+	if r := tb.Lookup(5); r == nil || r.NextHop != 3 {
+		t.Fatalf("route not replaced across wraparound: %+v", r)
+	}
+	// The pre-wrap number is now ~2^32 behind: stale, even with a better
+	// metric.
+	if tb.Update(route(5, 4, preWrap, 1, 1, des.Second)) {
+		t.Fatal("pre-wraparound sequence number displaced the wrapped route")
+	}
+	if r := tb.Lookup(5); r == nil || r.NextHop != 3 {
+		t.Fatalf("wrapped route lost: %+v", r)
+	}
+}
+
+// TestTableLookupExpiresBoundary pins the expiry boundary: a route is dead
+// at exactly its Expires instant (Expires <= now), and the failed Lookup
+// also invalidates the entry in place.
+func TestTableLookupExpiresBoundary(t *testing.T) {
+	sim := des.NewSim()
+	tb := NewTable(sim)
+	tb.Update(route(5, 2, 1, 3, 3, des.Second))
+	sim.Schedule(des.Second-1, func() {
+		if tb.Lookup(5) == nil {
+			t.Error("route dead one tick before Expires")
+		}
+	})
+	sim.Schedule(des.Second, func() {
+		if tb.Lookup(5) != nil {
+			t.Error("route alive at exactly Expires")
+		}
+		if r := tb.Get(5); r == nil || r.Valid {
+			t.Errorf("expired Lookup did not invalidate the entry: %+v", r)
+		}
+	})
+	sim.Run()
+}
+
+// TestDupCacheHorizonBoundary pins the duplicate-suppression boundary: a
+// flood recorded at t is a duplicate strictly before t+horizon and forgotten
+// at exactly t+horizon (exp <= now), mirroring the reaper's eviction rule.
+func TestDupCacheHorizonBoundary(t *testing.T) {
+	sim := des.NewSim()
+	d := NewDupCache(sim, 2*des.Second)
+	if d.Seen(1, 7) {
+		t.Fatal("first sighting reported as duplicate")
+	}
+	sim.Schedule(2*des.Second-1, func() {
+		if !d.Seen(1, 7) {
+			t.Error("flood forgotten one tick before the horizon")
+		}
+	})
+	// The tick-before lookup above re-arms nothing: Seen only reports.
+	sim.Schedule(2*des.Second, func() {
+		if d.Seen(1, 7) {
+			t.Error("flood still remembered at exactly the horizon")
+		}
+	})
+	sim.Run()
+}
+
+// TestDupCacheReapClock verifies the sweep schedule is anchored at the
+// construction-time (or reset-time) clock, not at time zero: a cache built
+// at t0 must not sweep before t0+horizon, and must sweep once past it.
+func TestDupCacheReapClock(t *testing.T) {
+	sim := des.NewSim()
+	const horizon = 2 * des.Second
+	var d *DupCache
+	sim.Schedule(10*des.Second, func() { d = NewDupCache(sim, horizon) })
+	// Fill a ring, then let its entries expire. Lookups on a different
+	// origin touch only the sweep logic, never origin 1's ring.
+	sim.Schedule(10*des.Second, func() { d.Seen(1, 42) })
+	sim.Schedule(12*des.Second-1, func() {
+		d.Seen(2, 0)
+		if d.Len() != 2 {
+			t.Errorf("swept before construction clock + horizon: len=%d", d.Len())
+		}
+	})
+	sim.Schedule(12*des.Second, func() {
+		d.Seen(2, 1)
+		// Origin 1's expired entry is reaped; origin 2's two live ones stay.
+		if d.Len() != 2 {
+			t.Errorf("sweep at construction clock + horizon: len=%d, want 2 live", d.Len())
+		}
+		if d.Seen(1, 42) {
+			t.Error("reaped flood still reported as duplicate")
+		}
+	})
+	sim.Run()
+}
+
+// TestNeighborTableRemoveClearsSlot pins the map-delete semantics of the
+// dense NeighborTable: after Remove, a re-inserted neighbour must not
+// expose the previous incarnation's piggybacked two-hop table (an Update
+// with a nil payload keeps the stored slice — which must be empty).
+func TestNeighborTableRemoveClearsSlot(t *testing.T) {
+	sim := des.NewSim()
+	nt := NewNeighborTable(sim, des.Second)
+	nt.Update(3, 0.5, []pkt.NeighborLoad{{ID: 7, Load: 0.9}})
+	nt.Remove(3)
+	if nt.Count() != 0 {
+		t.Fatalf("count after remove = %d", nt.Count())
+	}
+	nt.Update(3, 0.1, nil)
+	if got := nt.NeighborhoodLoad(0, 0.1, true); got != 0.1 {
+		t.Errorf("stale two-hop table survived Remove: NL = %v, want 0.1", got)
+	}
+}

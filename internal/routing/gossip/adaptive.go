@@ -88,10 +88,18 @@ func NewAdaptive(env routing.Env, params AdaptiveParams) *routing.Core {
 // NewAdaptiveWithConfig builds a density-adaptive gossip agent with
 // explicit shared configuration.
 func NewAdaptiveWithConfig(env routing.Env, cfg routing.Config, params AdaptiveParams) *routing.Core {
+	s := AdaptiveSpec(cfg, params)
+	return routing.New(env, s.Cfg, s.Policy())
+}
+
+// AdaptiveSpec returns the scheme's effective configuration and per-run
+// policy constructor (used by warm replication reuse to reset cores in
+// place).
+func AdaptiveSpec(cfg routing.Config, params AdaptiveParams) routing.Spec {
 	cfg.ReplyWindow = 0
 	cfg.HelloEnabled = true
 	cfg.TwoHopHello = false
-	return routing.New(env, cfg, &AdaptivePolicy{params: params})
+	return routing.Spec{Cfg: cfg, Policy: func() routing.RREQPolicy { return &AdaptivePolicy{params: params} }}
 }
 
 var _ routing.RREQPolicy = (*AdaptivePolicy)(nil)

@@ -52,8 +52,15 @@ func New(env routing.Env, params Params) *routing.Core {
 
 // NewWithConfig builds a gossip agent with explicit shared configuration.
 func NewWithConfig(env routing.Env, cfg routing.Config, params Params) *routing.Core {
+	s := Spec(cfg, params)
+	return routing.New(env, s.Cfg, s.Policy())
+}
+
+// Spec returns the scheme's effective configuration and per-run policy
+// constructor (used by warm replication reuse to reset cores in place).
+func Spec(cfg routing.Config, params Params) routing.Spec {
 	cfg.ReplyWindow = 0
-	return routing.New(env, cfg, &Policy{params: params})
+	return routing.Spec{Cfg: cfg, Policy: func() routing.RREQPolicy { return &Policy{params: params} }}
 }
 
 var _ routing.RREQPolicy = (*Policy)(nil)

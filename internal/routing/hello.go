@@ -19,29 +19,72 @@ type neighborInfo struct {
 // NeighborTable tracks HELLO-derived neighbourhood state: who is nearby
 // and how loaded their surroundings are. Entries go stale when beacons
 // stop arriving.
+//
+// Node IDs are dense, so per-neighbour state lives in a slice indexed by
+// NodeID, with a sorted side list of present IDs: freshIDs then iterates
+// only the O(#neighbours) members in ascending order with no per-call
+// sort, which keeps floating-point accumulation (and therefore whole
+// runs) deterministic despite lazily discovered neighbours.
 type NeighborTable struct {
 	sim     *des.Sim
 	maxAge  des.Time
-	entries map[pkt.NodeID]*neighborInfo
-	scratch []pkt.NodeID // reused by freshIDs; valid until the next call
+	info    []neighborInfo // dense by neighbour NodeID
+	pos     []int32        // pos[id] = index+1 into ids; 0 = absent
+	ids     []pkt.NodeID   // present neighbour IDs, ascending
+	scratch []pkt.NodeID   // reused by freshIDs; valid until the next call
 }
 
 // NewNeighborTable creates a table whose entries expire after maxAge.
 func NewNeighborTable(sim *des.Sim, maxAge des.Time) *NeighborTable {
-	return &NeighborTable{
-		sim:     sim,
-		maxAge:  maxAge,
-		entries: make(map[pkt.NodeID]*neighborInfo),
+	return &NeighborTable{sim: sim, maxAge: maxAge}
+}
+
+// Reset empties the table in place and rebinds the staleness horizon,
+// keeping the grown per-ID storage for warm replication reuse.
+func (nt *NeighborTable) Reset(maxAge des.Time) {
+	nt.maxAge = maxAge
+	for _, id := range nt.ids {
+		nt.pos[id] = 0
+		e := &nt.info[id]
+		e.load = 0
+		e.lastHeard = 0
+		e.twoHop = e.twoHop[:0]
+	}
+	nt.ids = nt.ids[:0]
+}
+
+// grow extends the dense arrays to cover neighbour index i.
+func (nt *NeighborTable) grow(i int) {
+	for len(nt.pos) <= i {
+		nt.pos = append(nt.pos, 0)
+		nt.info = append(nt.info, neighborInfo{})
+	}
+}
+
+// insert adds id to the sorted present list and indexes it.
+func (nt *NeighborTable) insert(id pkt.NodeID) {
+	j, _ := slices.BinarySearch(nt.ids, id)
+	nt.ids = append(nt.ids, 0)
+	copy(nt.ids[j+1:], nt.ids[j:])
+	nt.ids[j] = id
+	for k := j; k < len(nt.ids); k++ {
+		nt.pos[nt.ids[k]] = int32(k + 1)
 	}
 }
 
 // Update records a received HELLO.
 func (nt *NeighborTable) Update(from pkt.NodeID, load float64, twoHop []pkt.NeighborLoad) {
-	e, ok := nt.entries[from]
-	if !ok {
-		e = &neighborInfo{}
-		nt.entries[from] = e
+	if from < 0 {
+		return
 	}
+	i := int(from)
+	if i >= len(nt.pos) {
+		nt.grow(i)
+	}
+	if nt.pos[i] == 0 {
+		nt.insert(from)
+	}
+	e := &nt.info[i]
 	e.load = load
 	e.lastHeard = nt.sim.Now()
 	if twoHop != nil {
@@ -50,7 +93,25 @@ func (nt *NeighborTable) Update(from pkt.NodeID, load float64, twoHop []pkt.Neig
 }
 
 // Remove forgets a neighbour (e.g. after a link-layer failure toward it).
-func (nt *NeighborTable) Remove(id pkt.NodeID) { delete(nt.entries, id) }
+func (nt *NeighborTable) Remove(id pkt.NodeID) {
+	if id < 0 || int(id) >= len(nt.pos) || nt.pos[id] == 0 {
+		return
+	}
+	j := int(nt.pos[id]) - 1
+	copy(nt.ids[j:], nt.ids[j+1:])
+	nt.ids = nt.ids[:len(nt.ids)-1]
+	for k := j; k < len(nt.ids); k++ {
+		nt.pos[nt.ids[k]] = int32(k + 1)
+	}
+	nt.pos[id] = 0
+	// Clear the vacated slot (map-delete semantics): a later re-insert
+	// must not observe this incarnation's piggybacked table, which an
+	// Update carrying no two-hop payload would otherwise leave visible.
+	e := &nt.info[id]
+	e.load = 0
+	e.lastHeard = 0
+	e.twoHop = e.twoHop[:0]
+}
 
 func (nt *NeighborTable) fresh(e *neighborInfo) bool {
 	return nt.sim.Now()-e.lastHeard <= nt.maxAge
@@ -60,28 +121,26 @@ func (nt *NeighborTable) fresh(e *neighborInfo) bool {
 // CLNLR's forwarding probability adapts to.
 func (nt *NeighborTable) Count() int {
 	n := 0
-	for _, e := range nt.entries {
-		if nt.fresh(e) {
+	for _, id := range nt.ids {
+		if nt.fresh(&nt.info[id]) {
 			n++
 		}
 	}
 	return n
 }
 
-// freshIDs returns the fresh neighbour IDs in ascending order. Sorted
-// iteration keeps floating-point accumulation (and therefore whole runs)
-// deterministic despite Go's randomised map order. The returned slice is
-// a reused scratch buffer, only valid until the next call.
+// freshIDs returns the fresh neighbour IDs in ascending order. The
+// returned slice is a reused scratch buffer, only valid until the next
+// call.
 func (nt *NeighborTable) freshIDs() []pkt.NodeID {
-	ids := nt.scratch[:0]
-	for id, e := range nt.entries {
-		if nt.fresh(e) {
-			ids = append(ids, id)
+	out := nt.scratch[:0]
+	for _, id := range nt.ids {
+		if nt.fresh(&nt.info[id]) {
+			out = append(out, id)
 		}
 	}
-	slices.Sort(ids)
-	nt.scratch = ids
-	return ids
+	nt.scratch = out
+	return out
 }
 
 // Loads returns the fresh neighbours and their loads in ascending ID order
@@ -90,7 +149,7 @@ func (nt *NeighborTable) Loads() []pkt.NeighborLoad {
 	ids := nt.freshIDs()
 	out := make([]pkt.NeighborLoad, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, pkt.NeighborLoad{ID: id, Load: nt.entries[id].load})
+		out = append(out, pkt.NeighborLoad{ID: id, Load: nt.info[id].load})
 	}
 	return out
 }
@@ -103,7 +162,7 @@ func (nt *NeighborTable) NeighborhoodLoad(self pkt.NodeID, ownLoad float64, twoH
 	sum := ownLoad
 	n := 1.0
 	for _, id := range nt.freshIDs() {
-		e := nt.entries[id]
+		e := &nt.info[id]
 		sum += e.load
 		n++
 		if !twoHop {

@@ -21,34 +21,77 @@ type Route struct {
 	Valid    bool
 }
 
-// Table is a per-node routing table with AODV freshness semantics.
+// tableEntry is one slot of the dense destination-indexed table.
+type tableEntry struct {
+	r       Route
+	present bool
+}
+
+// Table is a per-node routing table with AODV freshness semantics. Node
+// IDs are dense (0..N-1), so entries live in a slice indexed by
+// destination ID rather than a map; slots grow lazily on first write.
+// Pointers returned by Lookup/Get alias the slice and are only valid
+// until the next Update (growth may move the backing array).
 type Table struct {
-	sim    *des.Sim
-	routes map[pkt.NodeID]*Route
+	sim     *des.Sim
+	entries []tableEntry
+	count   int
 }
 
 // NewTable returns an empty table bound to the simulation clock.
 func NewTable(sim *des.Sim) *Table {
-	return &Table{sim: sim, routes: make(map[pkt.NodeID]*Route)}
+	return &Table{sim: sim}
+}
+
+// Reset empties the table in place, keeping the grown slot storage for
+// warm replication reuse.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = tableEntry{}
+	}
+	t.count = 0
+}
+
+// grow extends the slot array to cover destination index i.
+func (t *Table) grow(i int) {
+	for len(t.entries) <= i {
+		t.entries = append(t.entries, tableEntry{})
+	}
+}
+
+// slot returns the entry for dst, or nil when dst was never installed
+// (or is not a unicast ID).
+func (t *Table) slot(dst pkt.NodeID) *tableEntry {
+	if dst < 0 || int(dst) >= len(t.entries) {
+		return nil
+	}
+	e := &t.entries[dst]
+	if !e.present {
+		return nil
+	}
+	return e
 }
 
 // Lookup returns the valid, unexpired route to dst, or nil.
 func (t *Table) Lookup(dst pkt.NodeID) *Route {
-	r, ok := t.routes[dst]
-	if !ok || !r.Valid {
+	e := t.slot(dst)
+	if e == nil || !e.r.Valid {
 		return nil
 	}
-	if r.Expires <= t.sim.Now() {
-		r.Valid = false
+	if e.r.Expires <= t.sim.Now() {
+		e.r.Valid = false
 		return nil
 	}
-	return r
+	return &e.r
 }
 
 // Get returns the entry for dst even if invalid or expired (for sequence
 // number bookkeeping), or nil if none was ever installed.
 func (t *Table) Get(dst pkt.NodeID) *Route {
-	return t.routes[dst]
+	if e := t.slot(dst); e != nil {
+		return &e.r
+	}
+	return nil
 }
 
 // Update installs cand if it is fresher or better than the current entry,
@@ -57,12 +100,21 @@ func (t *Table) Get(dst pkt.NodeID) *Route {
 // without sequence information never displaces one with it, but refreshes
 // an invalid entry. Returns true if the table changed.
 func (t *Table) Update(cand Route) bool {
-	cur, ok := t.routes[cand.Dst]
-	if !ok {
-		c := cand
-		t.routes[cand.Dst] = &c
+	if cand.Dst < 0 {
+		return false
+	}
+	i := int(cand.Dst)
+	if i >= len(t.entries) {
+		t.grow(i)
+	}
+	e := &t.entries[i]
+	if !e.present {
+		e.r = cand
+		e.present = true
+		t.count++
 		return true
 	}
+	cur := &e.r
 	if t.better(cand, cur) {
 		// Preserve the highest sequence number ever seen.
 		if cur.SeqValid && !cand.SeqValid {
@@ -122,32 +174,33 @@ func (t *Table) Refresh(dst pkt.NodeID, lifetime des.Time) {
 // was no valid route). The sequence number is bumped so stale copies of
 // the dead route cannot be re-installed.
 func (t *Table) Invalidate(dst pkt.NodeID) *Route {
-	r, ok := t.routes[dst]
-	if !ok || !r.Valid {
+	e := t.slot(dst)
+	if e == nil || !e.r.Valid {
 		return nil
 	}
-	r.Valid = false
-	if r.SeqValid {
-		r.Seq++
+	e.r.Valid = false
+	if e.r.SeqValid {
+		e.r.Seq++
 	}
-	return r
+	return &e.r
 }
 
 // InvalidateVia invalidates every valid route whose next hop is via and
 // returns the affected destinations with their (bumped) sequence numbers.
 func (t *Table) InvalidateVia(via pkt.NodeID) []pkt.UnreachableDest {
 	var lost []pkt.UnreachableDest
-	for dst, r := range t.routes {
-		if r.Valid && r.NextHop == via {
-			r.Valid = false
-			if r.SeqValid {
-				r.Seq++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.present && e.r.Valid && e.r.NextHop == via {
+			e.r.Valid = false
+			if e.r.SeqValid {
+				e.r.Seq++
 			}
-			lost = append(lost, pkt.UnreachableDest{Node: dst, Seq: r.Seq})
+			lost = append(lost, pkt.UnreachableDest{Node: e.r.Dst, Seq: e.r.Seq})
 		}
 	}
 	return lost
 }
 
 // Len returns the number of entries (valid or not).
-func (t *Table) Len() int { return len(t.routes) }
+func (t *Table) Len() int { return t.count }

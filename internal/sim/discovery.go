@@ -5,7 +5,6 @@ import (
 
 	"clnlr/internal/des"
 	"clnlr/internal/node"
-	"clnlr/internal/radio"
 	"clnlr/internal/rng"
 	"clnlr/internal/stats"
 	"clnlr/internal/traffic"
@@ -40,6 +39,12 @@ type DiscoveryResult struct {
 // the worst-case discovery time (attempts × DiscoveryTimeout) so rounds
 // do not overlap.
 func RunDiscovery(sc Scenario, rounds int, gap des.Time) (DiscoveryResult, error) {
+	return NewEngine().RunDiscovery(sc, rounds, gap)
+}
+
+// RunDiscovery executes the discovery-round experiment on this engine,
+// reusing the warm network when compatible (see RunDiscovery).
+func (e *Engine) RunDiscovery(sc Scenario, rounds int, gap des.Time) (DiscoveryResult, error) {
 	// Discovery runs are valid with zero background flows; validate a copy
 	// with that requirement relaxed.
 	vsc := sc
@@ -58,15 +63,11 @@ func RunDiscovery(sc Scenario, rounds int, gap des.Time) (DiscoveryResult, error
 	}
 	master := rng.New(sc.Seed)
 
-	positions, tp, err := place(sc, master)
+	tp, err := e.prepare(sc, master)
 	if err != nil {
 		return DiscoveryResult{}, err
 	}
-	simk := des.NewSim()
-	medium := radio.NewMedium(simk, sc.propagation())
-	medium.SetReference(sc.ReferenceRadio)
-	nodes := node.BuildNetwork(simk, medium, positions, sc.Radio, sc.Mac,
-		master.Derive(1000), sc.agentFactory())
+	simk, nodes := e.simk, e.nodes
 	node.StartAll(nodes)
 
 	mgr := traffic.NewManager(simk, nodes, sc.Routing.TTL, 0)
@@ -139,12 +140,15 @@ func RunDiscoveryReplications(sc Scenario, rounds int, gap des.Time, reps, worke
 	}
 	results := make([]DiscoveryResult, reps)
 	errs := make([]error, reps)
-	run := func(i int) {
+	engines := make([]*Engine, ResolveWorkers(reps, workers))
+	ParallelForWorkers(reps, workers, func(worker, i int) {
+		if engines[worker] == nil {
+			engines[worker] = NewEngine()
+		}
 		s := sc
 		s.Seed = sc.Seed + uint64(i)
-		results[i], errs[i] = RunDiscovery(s, rounds, gap)
-	}
-	parallelFor(reps, workers, run)
+		results[i], errs[i] = engines[worker].RunDiscovery(s, rounds, gap)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"clnlr/internal/des"
+)
+
+// TestGoldenWarmMatchesCold is the determinism contract of warm
+// replication reuse: an Engine that has already run arbitrary prior
+// scenarios must produce bit-identical Results to a cold run. One shared
+// engine sweeps every golden config × scheme (map order shuffles the
+// sequence, so the reuse path is exercised against heterogeneous
+// predecessors: scheme changes, propagation changes, node-count changes
+// that force a rebuild, mobility on and off), and every run is compared
+// against a fresh-engine run of the same scenario.
+func TestGoldenWarmMatchesCold(t *testing.T) {
+	eng := NewEngine()
+	for name, mut := range goldenConfigs() {
+		for _, scheme := range AllSchemes() {
+			t.Run(fmt.Sprintf("%s/%s", name, scheme), func(t *testing.T) {
+				sc := quickScenario().WithScheme(scheme)
+				sc.Warmup = 2 * des.Second
+				sc.Measure = 8 * des.Second
+				mut(&sc)
+
+				cold, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm1, err := eng.Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Second pass on the same engine: now the placement cache,
+				// sim kernel, medium and node state are all certainly warm
+				// for this exact scenario.
+				warm2, err := eng.Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if warm1 != cold {
+					t.Errorf("warm run diverges from cold:\n  warm %+v\n  cold %+v", warm1, cold)
+				}
+				if warm2 != cold {
+					t.Errorf("warm rerun diverges from cold:\n  warm %+v\n  cold %+v", warm2, cold)
+				}
+			})
+		}
+	}
+}
+
+// TestWarmReplicationSeedSchedule pins the seed schedule of warm reuse:
+// running seeds s, s+1, … through one engine (the RunReplications worker
+// pattern) must match fresh cold runs of each seed.
+func TestWarmReplicationSeedSchedule(t *testing.T) {
+	sc := quickScenario()
+	sc.Measure = 5 * des.Second
+	eng := NewEngine()
+	for i := 0; i < 4; i++ {
+		s := sc
+		s.Seed = sc.Seed + uint64(i)
+		cold, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := eng.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm != cold {
+			t.Errorf("seed %d: warm %+v != cold %+v", s.Seed, warm, cold)
+		}
+	}
+}
+
+// TestGoldenWarmDiscoveryMatchesCold extends the warm==cold contract to
+// the discovery probe runner, interleaved with data-plane runs on the
+// same engine so the two run modes must not contaminate each other.
+func TestGoldenWarmDiscoveryMatchesCold(t *testing.T) {
+	sc := quickScenario()
+	sc.Flows = 0
+	cold, err := RunDiscovery(sc, 5, 4*des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine()
+	data := quickScenario()
+	data.Measure = 5 * des.Second
+	if _, err := eng.Run(data); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.RunDiscovery(sc, 5, 4*des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Errorf("warm discovery diverges from cold:\n  warm %+v\n  cold %+v", warm, cold)
+	}
+
+	coldData, err := Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmData, err := eng.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmData != coldData {
+		t.Errorf("data run after discovery diverges from cold:\n  warm %+v\n  cold %+v", warmData, coldData)
+	}
+}
+
+// TestPlacementCacheKeying verifies the placement cache never serves a
+// stale placement: changing the seed of a seed-dependent topology must
+// re-place, while the seed-invariant grid may share one entry.
+func TestPlacementCacheKeying(t *testing.T) {
+	sc := quickScenario()
+	sc.Topology = TopoPerturbedGrid
+	eng := NewEngine()
+	for i := 0; i < 2; i++ {
+		s := sc
+		s.Seed = sc.Seed + uint64(i)
+		cold, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := eng.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm != cold {
+			t.Errorf("perturbed-grid seed %d: warm %+v != cold %+v", s.Seed, warm, cold)
+		}
+	}
+
+	grid := quickScenario()
+	if k0, k1 := placementKeyOf(grid), placementKeyOf(grid.WithScheme(SchemeFlood)); k0 != k1 {
+		t.Errorf("grid placement key varies with scheme: %+v vs %+v", k0, k1)
+	}
+	g2 := grid
+	g2.Seed += 7
+	if placementKeyOf(grid) != placementKeyOf(g2) {
+		t.Error("grid+two-ray placement key varies with seed (should be seed-invariant)")
+	}
+	p2 := grid
+	p2.Topology = TopoPerturbedGrid
+	p3 := p2
+	p3.Seed += 7
+	if placementKeyOf(p2) == placementKeyOf(p3) {
+		t.Error("perturbed-grid placement key ignores seed")
+	}
+}

@@ -20,10 +20,14 @@ func RunReplications(sc Scenario, reps, workers int) ([]Result, error) {
 	}
 	results := make([]Result, reps)
 	errs := make([]error, reps)
-	parallelFor(reps, workers, func(i int) {
+	engines := make([]*Engine, ResolveWorkers(reps, workers))
+	ParallelForWorkers(reps, workers, func(worker, i int) {
+		if engines[worker] == nil {
+			engines[worker] = NewEngine()
+		}
 		s := sc
 		s.Seed = sc.Seed + uint64(i)
-		results[i], errs[i] = Run(s)
+		results[i], errs[i] = engines[worker].Run(s)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -41,18 +45,38 @@ func RunReplications(sc Scenario, reps, workers int) ([]Result, error) {
 // callers. Exported for cross-package job sets (the experiments scheduler
 // flattens every figure's cells into a single call).
 func ParallelFor(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
+	ParallelForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// ResolveWorkers returns the pool size ParallelFor(Workers) actually uses
+// for n jobs: min(workers, n), with workers ≤ 0 meaning GOMAXPROCS.
+// Callers binding per-worker state (warm engines) size their slices with
+// this.
+func ResolveWorkers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ParallelForWorkers is ParallelFor with the worker index (0..pool-1)
+// exposed to fn. Each worker index is owned by exactly one goroutine for
+// the whole call, so fn can keep per-worker reusable state — warm
+// simulation engines — in a slice indexed by it without locking.
+func ParallelForWorkers(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = ResolveWorkers(n, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -60,22 +84,19 @@ func ParallelFor(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
-
-// parallelFor is the package-internal spelling of ParallelFor.
-func parallelFor(n, workers int, fn func(i int)) { ParallelFor(n, workers, fn) }
 
 // Metric extracts one scalar from a Result (for summarising replications).
 type Metric func(Result) float64

@@ -81,55 +81,18 @@ func takeSnapshot(nodes []*node.Node) snapshot {
 	return s
 }
 
-// Run executes one simulation of the scenario and returns its metrics.
+// Run executes one simulation of the scenario and returns its metrics. A
+// cold run is a warm run on a fresh Engine, so cold and warm executions
+// share one code path and cannot diverge.
 func Run(sc Scenario) (Result, error) {
-	return RunTraced(sc, nil)
+	return NewEngine().Run(sc)
 }
 
 // RunTraced is Run with an optional trace sink attached to every node's
 // routing agent (nil behaves exactly like Run). Tracing a full run is
 // heavy; prefer it for debugging single scenarios, not sweeps.
 func RunTraced(sc Scenario, sink trace.Sink) (Result, error) {
-	if err := sc.Validate(); err != nil {
-		return Result{}, err
-	}
-	master := rng.New(sc.Seed)
-
-	positions, tp, err := place(sc, master)
-	if err != nil {
-		return Result{}, err
-	}
-
-	simk := des.NewSim()
-	medium := radio.NewMedium(simk, sc.propagation())
-	medium.SetReference(sc.ReferenceRadio)
-	nodes := node.BuildNetwork(simk, medium, positions, sc.Radio, sc.Mac,
-		master.Derive(1000), sc.agentFactory())
-	if sink != nil {
-		for _, n := range nodes {
-			n.Agent.Env.Trace = sink
-		}
-	}
-	node.StartAll(nodes)
-	attachMobility(sc, simk, nodes, master)
-
-	mgr := traffic.NewManager(simk, nodes, sc.Routing.TTL, sc.Warmup)
-	flows, err := pickFlows(sc, tp, master.Derive(2000))
-	if err != nil {
-		return Result{}, err
-	}
-	flowRng := master.Derive(3000)
-	for _, f := range flows {
-		mgr.AddFlow(f, flowRng.Derive(uint64(f.ID)))
-	}
-
-	// Isolate the measurement window for cumulative counters.
-	var warm snapshot
-	simk.At(sc.Warmup, func() { warm = takeSnapshot(nodes) })
-	end := sc.Warmup + sc.Measure
-	simk.RunUntil(end)
-
-	return extract(sc, nodes, mgr, warm), nil
+	return NewEngine().RunTraced(sc, sink)
 }
 
 // attachMobility starts a random-waypoint model over the nodes when the

@@ -246,36 +246,35 @@ func (s Scenario) propagation() radio.Propagation {
 	}
 }
 
-// agentFactory maps the scenario's scheme to a node.AgentFactory.
-func (s Scenario) agentFactory() node.AgentFactory {
+// agentSpec maps the scenario's scheme to its routing.Spec: the scheme's
+// effective configuration plus a constructor for its per-run policy. The
+// warm-reuse engine resets existing cores against this spec instead of
+// rebuilding them.
+func (s Scenario) agentSpec() routing.Spec {
 	switch s.Scheme {
 	case SchemeGossip:
-		return func(env routing.Env) *routing.Core {
-			return gossip.NewWithConfig(env, s.Routing, s.Gossip)
-		}
+		return gossip.Spec(s.Routing, s.Gossip)
 	case SchemeGossipAdaptive:
-		return func(env routing.Env) *routing.Core {
-			return gossip.NewAdaptiveWithConfig(env, s.Routing, gossip.DefaultAdaptiveParams())
-		}
+		return gossip.AdaptiveSpec(s.Routing, gossip.DefaultAdaptiveParams())
 	case SchemeCounter:
-		return func(env routing.Env) *routing.Core {
-			return counter.NewWithConfig(env, s.Routing, s.Counter)
-		}
+		return counter.Spec(s.Routing, s.Counter)
 	case SchemeCLNLR:
 		p := s.CLNLR
 		p.TwoHop = false
-		return func(env routing.Env) *routing.Core {
-			return core.NewWithConfig(env, s.Routing, p)
-		}
+		return core.Spec(s.Routing, p)
 	case SchemeCLNLR2:
 		p := s.CLNLR
 		p.TwoHop = true
-		return func(env routing.Env) *routing.Core {
-			return core.NewWithConfig(env, s.Routing, p)
-		}
+		return core.Spec(s.Routing, p)
 	default:
-		return func(env routing.Env) *routing.Core {
-			return aodv.NewWithConfig(env, s.Routing)
-		}
+		return aodv.Spec(s.Routing)
+	}
+}
+
+// agentFactory maps the scenario's scheme to a node.AgentFactory.
+func (s Scenario) agentFactory() node.AgentFactory {
+	spec := s.agentSpec()
+	return func(env routing.Env) *routing.Core {
+		return routing.New(env, spec.Cfg, spec.Policy())
 	}
 }
