@@ -8,7 +8,7 @@ GO ?= go
 # the runner-level replication sweep.
 BENCH_GATE := BenchmarkSimulatorThroughput|BenchmarkReplicationSweep
 
-.PHONY: verify build test race bench-smoke bench bench-compare bench-baseline
+.PHONY: verify build test race bench-smoke bench bench-compare bench-baseline fuzz
 
 verify: build test race bench-smoke
 
@@ -24,6 +24,14 @@ race:
 
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x .
+
+# Coverage-guided fuzzing of the wire codec (go test allows one -fuzz
+# pattern per invocation, hence the two runs). FUZZTIME=5m for a deep run.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/pkt
+	$(GO) test -run NONE -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/pkt
 
 # Full throughput numbers (compare against BENCH_PR1.json / BENCH_PR2.json).
 bench:

@@ -176,6 +176,18 @@ func BenchmarkFigR10Mobility(b *testing.B) {
 	}
 }
 
+func BenchmarkFigR11Resilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.FigR11(benchConfig(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, f, "pdr")
+		}
+	}
+}
+
 // benchThroughput runs one scenario per iteration through a single warm
 // engine — the replication-worker pattern, where iteration i+1 reuses the
 // fully-allocated network of iteration i — and reports simulated-seconds

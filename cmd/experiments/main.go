@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -65,9 +66,17 @@ func main() {
 	fmt.Print(experiments.TabR1())
 
 	var figs []experiments.Figure
+	failedCells := 0
 	add := func(f experiments.Figure, err error) {
 		if err != nil {
-			log.Fatal(err)
+			// A crashed or failed replication poisons only its own cells;
+			// render whatever survived and report the holes at the end.
+			var pe *experiments.PartialError
+			if !errors.As(err, &pe) {
+				log.Fatal(err)
+			}
+			failedCells += len(pe.Failures)
+			log.Print(pe)
 		}
 		figs = append(figs, f)
 	}
@@ -101,6 +110,9 @@ func main() {
 	if selected("F-R10") {
 		add(experiments.FigR10(cfg))
 	}
+	if selected("F-R11") {
+		add(experiments.FigR11(cfg))
+	}
 
 	for _, f := range figs {
 		fmt.Println()
@@ -112,6 +124,9 @@ func main() {
 	}
 	fmt.Printf("\nsuite completed in %v (%d figures, %d reps/point)\n",
 		time.Since(start).Round(time.Millisecond), len(figs), cfg.Reps)
+	if failedCells > 0 {
+		log.Printf("WARNING: %d replication(s) failed; affected cells are missing above", failedCells)
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -43,6 +43,12 @@ func main() {
 		reps       = flag.Int("reps", 1, "replications (mean ± 95% CI when > 1)")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		discover   = flag.Int("discover", 0, "run N discovery rounds instead of a traffic experiment")
+		mttf       = flag.Duration("mttf", 0, "node churn: mean time to failure (0 = no churn)")
+		mttr       = flag.Duration("mttr", 0, "node churn: mean downtime per crash (default 10s when -mttf is set)")
+		linkGood   = flag.Duration("link-good", 0, "link impairment: mean good-state dwell (0 = no impairment)")
+		linkBad    = flag.Duration("link-bad", 0, "link impairment: mean bad-state dwell")
+		lossGood   = flag.Float64("loss-good", 0, "link impairment: loss probability in the good state")
+		lossBad    = flag.Float64("loss-bad", 0, "link impairment: loss probability in the bad state")
 		traceFile  = flag.String("trace", "", "write routing-event trace (NDJSON) to this file; forces reps=1")
 		configFile = flag.String("config", "", "load scenario from a JSON file (flags override its fields)")
 		dumpConfig = flag.String("dump-config", "", "write the effective scenario as JSON to this file and exit")
@@ -81,6 +87,13 @@ func main() {
 		"session": func() { sc.SessionTime = des.Time(*session) },
 		"warmup":  func() { sc.Warmup = des.Time(*warmup) },
 		"measure": func() { sc.Measure = des.Time(*measure) },
+
+		"mttf":      func() { sc.Faults.MeanUpTime = des.Time(*mttf) },
+		"mttr":      func() { sc.Faults.MeanDownTime = des.Time(*mttr) },
+		"link-good": func() { sc.Faults.Link.MeanGood = des.Time(*linkGood) },
+		"link-bad":  func() { sc.Faults.Link.MeanBad = des.Time(*linkBad) },
+		"loss-good": func() { sc.Faults.Link.LossGood = *lossGood },
+		"loss-bad":  func() { sc.Faults.Link.LossBad = *lossBad },
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if set, ok := apply[f.Name]; ok {

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/sim"
 )
 
 // tinyConfig shrinks everything to smoke-test the figure plumbing.
@@ -228,6 +232,91 @@ func TestFigR10Structure(t *testing.T) {
 	}
 }
 
+func TestFigR11Structure(t *testing.T) {
+	cfg := tinyConfig()
+	f, err := FigR11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, f, len(failureRates(cfg))*len(schemeSet(cfg)))
+	// Node churn must not improve delivery: the fault-free baseline (rate 0)
+	// dominates the churned point for every scheme.
+	xs, schemes := f.axes()
+	if xs[0] != 0 {
+		t.Fatalf("fault-free baseline missing: xs=%v", xs)
+	}
+	for _, s := range schemes {
+		base, ok1 := f.lookup(0, s, "pdr")
+		churn, ok2 := f.lookup(xs[len(xs)-1], s, "pdr")
+		if !ok1 || !ok2 {
+			t.Fatalf("missing %s points", s)
+		}
+		if churn.Mean > base.Mean+0.02 {
+			t.Errorf("%s: pdr %.3f under churn above fault-free %.3f", s, churn.Mean, base.Mean)
+		}
+	}
+}
+
+// TestPlannerContainsPanics poisons one cell's replications via the
+// engine-run hook and asserts the sweep survives: healthy cells finalize,
+// the poisoned cell is skipped, and the failures come back in a
+// *PartialError naming each seed with the recovered stack.
+func TestPlannerContainsPanics(t *testing.T) {
+	sim.TestHookRun = func(sc sim.Scenario) {
+		if sc.Scheme == sim.SchemeGossip {
+			panic("injected: poisoned cell")
+		}
+	}
+	defer func() { sim.TestHookRun = nil }()
+
+	cfg := Config{Reps: 2, Workers: 2, Seed: 11, Quick: true}
+	p := newPlanner(cfg)
+	small := func(s sim.Scheme) sim.Scenario {
+		sc := baseScenario(cfg).WithScheme(s)
+		sc.Warmup = des.Second
+		sc.Measure = 4 * des.Second
+		sc.Flows = 5
+		return sc
+	}
+	finalized := map[string]bool{}
+	p.add("healthy", small(sim.SchemeCLNLR), func(c *cell) { finalized["healthy"] = true })
+	p.add("poisoned", small(sim.SchemeGossip), func(c *cell) { finalized["poisoned"] = true })
+
+	err := p.run()
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if len(pe.Failures) != cfg.Reps {
+		t.Fatalf("failures %d, want %d (one per poisoned replication)", len(pe.Failures), cfg.Reps)
+	}
+	seeds := map[uint64]bool{}
+	for _, f := range pe.Failures {
+		if f.Label != "poisoned" {
+			t.Errorf("failure label %q, want poisoned", f.Label)
+		}
+		seeds[f.Seed] = true
+		var panicErr *sim.PanicError
+		if !errors.As(f.Err, &panicErr) {
+			t.Errorf("failure err %T, want *sim.PanicError", f.Err)
+		} else if len(panicErr.Stack) == 0 {
+			t.Error("recovered panic has no stack")
+		}
+	}
+	if !seeds[11] || !seeds[12] {
+		t.Errorf("failed seeds %v, want {11, 12}", seeds)
+	}
+	if !finalized["healthy"] {
+		t.Error("healthy cell was not finalized")
+	}
+	if finalized["poisoned"] {
+		t.Error("poisoned cell was finalized despite failures")
+	}
+	if !strings.Contains(err.Error(), "poisoned seed=11") {
+		t.Errorf("error does not name the failing cell/seed:\n%v", err)
+	}
+}
+
 func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full quick suite takes ~1 min")
@@ -236,15 +325,15 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 11 {
-		t.Fatalf("RunAll produced %d figures, want 11 (F-R1..R10 + T-R2)", len(figs))
+	if len(figs) != 12 {
+		t.Fatalf("RunAll produced %d figures, want 12 (F-R1..R11 + T-R2)", len(figs))
 	}
 	ids := map[string]bool{}
 	for _, f := range figs {
 		ids[f.ID] = true
 	}
 	for _, want := range []string{"F-R1", "F-R2", "F-R3", "F-R4", "F-R5",
-		"F-R6", "F-R7", "F-R8", "F-R9", "F-R10", "T-R2"} {
+		"F-R6", "F-R7", "F-R8", "F-R9", "F-R10", "F-R11", "T-R2"} {
 		if !ids[want] {
 			t.Fatalf("RunAll missing %s (got %v)", want, ids)
 		}

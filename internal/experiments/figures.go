@@ -360,6 +360,51 @@ func FigR10(cfg Config) (Figure, error) {
 	return *f, err
 }
 
+// failureRates returns the node-churn sweep of F-R11 (expected crashes
+// per node-minute; 0 = the fault-free baseline).
+func failureRates(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0, 2}
+	}
+	return []float64{0, 0.5, 1, 2, 4}
+}
+
+// planR11 registers the resilience extension: deterministic node churn at
+// increasing failure rates. Each crash takes a node fully down for ~10 s —
+// radio detached, MAC queue flushed, volatile routing state lost — so the
+// sweep stresses RERR propagation, re-discovery and route repair around
+// dead relays. Sequence numbers persist across the restart (RFC 3561
+// §6.1), keeping recovered nodes loop-free.
+func planR11(p *planner) *Figure {
+	f := &Figure{ID: "F-R11", Title: "Resilience: node churn, PDR/overhead/delay vs failure rate",
+		XLabel: "failures per node-minute", Metrics: []string{"pdr", "ctl/delivered", "delay-ms"}}
+	for _, rate := range failureRates(p.cfg) {
+		for _, scheme := range schemeSet(p.cfg) {
+			sc := baseScenario(p.cfg).WithScheme(scheme)
+			sc.PacketRate = 4
+			if rate > 0 {
+				sc.Faults.MeanUpTime = des.Time(float64(60*des.Second) / rate)
+				sc.Faults.MeanDownTime = 10 * des.Second
+			}
+			p.point(f, fmt.Sprintf("F-R11 rate=%v %s", rate, scheme),
+				sc, rate, string(scheme), map[string]sim.Metric{
+					"pdr":           sim.MetricPDR,
+					"ctl/delivered": sim.MetricNormOverhead,
+					"delay-ms":      sim.MetricDelayMs,
+				})
+		}
+	}
+	return f
+}
+
+// FigR11 returns the resilience (node churn) figure.
+func FigR11(cfg Config) (Figure, error) {
+	p := newPlanner(cfg)
+	f := planR11(p)
+	err := p.run()
+	return *f, err
+}
+
 // TabR1 renders the simulation-parameter table (static configuration).
 func TabR1() string {
 	sc := sim.DefaultScenario()
@@ -399,8 +444,9 @@ func RunAll(cfg Config) ([]Figure, error) {
 	f8 := planR8(p)
 	f9 := planR9(p)
 	f10 := planR10(p)
-	if err := p.run(); err != nil {
-		return nil, err
-	}
-	return []Figure{*r1, *r2, *r3, *r4, *r7, *f5, *f6, *t2, *f8, *f9, *f10}, nil
+	f11 := planR11(p)
+	// A *PartialError still carries every figure whose cells all succeeded;
+	// callers render what survived and report the rest.
+	err := p.run()
+	return []Figure{*r1, *r2, *r3, *r4, *r7, *f5, *f6, *t2, *f8, *f9, *f10, *f11}, err
 }

@@ -2,10 +2,37 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"clnlr/internal/des"
 	"clnlr/internal/sim"
 )
+
+// CellFailure records one failed replication of one cell: which sweep
+// point, which seed, and why (an ordinary error or a recovered
+// *sim.PanicError carrying the goroutine stack).
+type CellFailure struct {
+	Label string // cell label, e.g. "F-R11 rate=2 clnlr"
+	Seed  uint64 // the failing replication's seed
+	Err   error
+}
+
+// PartialError aggregates every failed replication of a planner run. It is
+// returned only after all unaffected cells were finalized, so callers that
+// can render a partial figure set should errors.As for it, report the
+// failures, and keep going.
+type PartialError struct {
+	Failures []CellFailure
+}
+
+func (e *PartialError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiments: %d replication(s) failed; unaffected cells were kept:", len(e.Failures))
+	for _, f := range e.Failures {
+		fmt.Fprintf(&b, "\n  %s seed=%d: %v", f.Label, f.Seed, f.Err)
+	}
+	return b.String()
+}
 
 // planner is the cross-point experiment scheduler. Figure builders register
 // cells — one (scenario, sweep-x, scheme) unit of work — and run() flattens
@@ -62,8 +89,11 @@ func (p *planner) addDiscovery(label string, sc sim.Scenario, rounds int, gap de
 }
 
 // run executes every registered cell's replications across one worker pool,
-// then finalizes cells in registration order. The first error (in
-// registration/seed order, not completion order) aborts finalization.
+// then finalizes cells in registration order. A failing replication — by
+// error or by recovered panic — does not abort the sweep: every remaining
+// job still runs, every cell whose replications all succeeded is finalized
+// normally, and the failures come back aggregated in a *PartialError (in
+// registration/seed order, not completion order).
 func (p *planner) run() error {
 	if p.cfg.Reps <= 0 {
 		return fmt.Errorf("experiments: non-positive replication count %d", p.cfg.Reps)
@@ -90,28 +120,47 @@ func (p *planner) run() error {
 	// bit-identical to cold runs — see the sim.Engine determinism
 	// contract.
 	engines := make([]*sim.Engine, sim.ResolveWorkers(len(jobs), p.cfg.Workers))
-	sim.ParallelForWorkers(len(jobs), p.cfg.Workers, func(worker, i int) {
-		if engines[worker] == nil {
-			engines[worker] = sim.NewEngine()
+	panics := sim.ParallelForWorkers(len(jobs), p.cfg.Workers, func(worker, i int) {
+		eng := engines[worker]
+		if eng == nil {
+			eng = sim.NewEngine()
 		}
+		// Leave the slot empty until the run returns: an engine that
+		// panicked mid-run holds arbitrary partial state and must not be
+		// reused warm by this worker's next job (see sim.RunReplications).
+		engines[worker] = nil
 		j := jobs[i]
 		sc := j.c.sc
 		sc.Seed += uint64(j.rep)
 		if j.c.discovery {
-			j.c.dres[j.rep], j.c.errs[j.rep] = engines[worker].RunDiscovery(sc, j.c.rounds, j.c.gap)
+			j.c.dres[j.rep], j.c.errs[j.rep] = eng.RunDiscovery(sc, j.c.rounds, j.c.gap)
 		} else {
-			j.c.results[j.rep], j.c.errs[j.rep] = engines[worker].Run(sc)
+			j.c.results[j.rep], j.c.errs[j.rep] = eng.Run(sc)
 		}
+		engines[worker] = eng
 	})
-	for _, c := range p.cells {
-		for _, err := range c.errs {
-			if err != nil {
-				return fmt.Errorf("%s: %w", c.label, err)
-			}
+	for i, err := range panics {
+		if err != nil {
+			jobs[i].c.errs[jobs[i].rep] = err
 		}
 	}
+	var failures []CellFailure
 	for _, c := range p.cells {
-		c.finalize(c)
+		clean := true
+		for r, err := range c.errs {
+			if err != nil {
+				clean = false
+				failures = append(failures, CellFailure{
+					Label: c.label, Seed: c.sc.Seed + uint64(r), Err: err,
+				})
+			}
+		}
+		if clean {
+			c.finalize(c)
+		}
+	}
+	if len(failures) > 0 {
+		return &PartialError{Failures: failures}
 	}
 	return nil
 }

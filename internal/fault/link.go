@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"clnlr/internal/des"
+)
+
+// LinkModel evaluates the Gilbert–Elliott process for every directed link
+// of an n-node network. The chain is driven by a counter-based generator:
+// each state transition and loss decision is a pure hash of
+// (seed, src, dst, slot), never a draw from a shared mutable stream. That
+// makes the process independent of which frames happen to probe it — the
+// indexed and the reference radio path, and a warm and a cold engine, see
+// byte-for-byte the same channel.
+//
+// Per-link state is only a memo (the last evaluated slot and the chain
+// state there), advanced monotonically as simulation time does.
+type LinkModel struct {
+	p    LinkParams
+	seed uint64
+	n    int
+	slot des.Time
+	// Per-slot transition probabilities good→bad and bad→good, chosen so
+	// the mean sojourn times match MeanGood/MeanBad.
+	pGB, pBG float64
+	// links[src*n+dst] memoises the chain for one directed link.
+	links []linkMemo
+}
+
+type linkMemo struct {
+	lastSlot int64 // -1 = chain not yet initialised
+	bad      bool
+}
+
+// NewLinkModel builds the impairment process for n radios. p must satisfy
+// p.Enabled(); seed is the run seed the per-link hashes mix in.
+func NewLinkModel(p LinkParams, seed uint64, n int) *LinkModel {
+	lm := &LinkModel{}
+	lm.Reset(p, seed, n)
+	return lm
+}
+
+// Reset re-parameterises the model in place for a fresh run (warm engine
+// reuse), keeping the memo backing array when the network size allows.
+func (lm *LinkModel) Reset(p LinkParams, seed uint64, n int) {
+	lm.p = p
+	lm.seed = seed
+	lm.n = n
+	lm.slot = p.Slot
+	if lm.slot <= 0 {
+		lm.slot = 10 * des.Millisecond
+	}
+	lm.pGB = float64(lm.slot) / float64(p.MeanGood)
+	if lm.pGB > 1 {
+		lm.pGB = 1
+	}
+	lm.pBG = 1.0
+	if p.MeanBad > 0 {
+		lm.pBG = float64(lm.slot) / float64(p.MeanBad)
+		if lm.pBG > 1 {
+			lm.pBG = 1
+		}
+	}
+	if cap(lm.links) < n*n {
+		lm.links = make([]linkMemo, n*n)
+	}
+	lm.links = lm.links[:n*n]
+	for i := range lm.links {
+		lm.links[i] = linkMemo{lastSlot: -1}
+	}
+}
+
+// mix hashes the tuple into 64 well-mixed bits (splitmix64 over a running
+// accumulator, one round per word).
+func mix(words ...uint64) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	var h uint64
+	for _, w := range words {
+		x ^= w
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		h = z ^ (z >> 31)
+		x ^= h
+	}
+	return h
+}
+
+// hash01 maps the tuple to a float64 in [0, 1).
+func hash01(words ...uint64) float64 {
+	return float64(mix(words...)>>11) / (1 << 53)
+}
+
+// Deliver reports whether a frame crossing the directed link src→dst at
+// time now survives the impairment process. now must be non-decreasing
+// per link (simulation time is), so the memoised chain only ever advances.
+func (lm *LinkModel) Deliver(src, dst int, now des.Time) bool {
+	cur := int64(now / lm.slot)
+	key := uint64(src)<<32 | uint64(uint32(dst))
+	memo := &lm.links[src*lm.n+dst]
+	if memo.lastSlot < 0 {
+		// Start the chain in its stationary distribution at slot 0.
+		piBad := lm.pGB / (lm.pGB + lm.pBG)
+		memo.bad = hash01(lm.seed, key, ^uint64(0)) < piBad
+		memo.lastSlot = 0
+	}
+	for s := memo.lastSlot + 1; s <= cur; s++ {
+		draw := hash01(lm.seed, key, uint64(s))
+		if memo.bad {
+			memo.bad = draw >= lm.pBG
+		} else {
+			memo.bad = draw < lm.pGB
+		}
+	}
+	if cur > memo.lastSlot {
+		memo.lastSlot = cur
+	}
+	loss := lm.p.LossGood
+	if memo.bad {
+		loss = lm.p.LossBad
+	}
+	if loss <= 0 {
+		return true
+	}
+	// Salt the loss draw so it is independent of the state draw for the
+	// same slot. One draw per (link, slot, frame-ordinal) would need
+	// mutable per-frame state; per (link, slot) is the standard slotted
+	// approximation and keeps the draw a pure function.
+	return hash01(lm.seed, key, uint64(cur), 0x10ad) >= loss
+}

@@ -135,4 +135,6 @@ type Counters struct {
 	RxDelivered  uint64
 	RxDuplicates uint64
 	RxCorrupted  uint64
+	// DroppedDown counts packets submitted while the node was crashed.
+	DroppedDown uint64
 }

@@ -113,6 +113,10 @@ type Mac struct {
 	le     loadEstimator
 	energy energyMeter
 
+	// down marks a crashed node: Send drops, radio callbacks and
+	// SIFS-deferred responses are ignored (see Crash/Recover).
+	down bool
+
 	// Ctr exposes event counts to the measurement layer.
 	Ctr Counters
 }
@@ -173,9 +177,55 @@ func (m *Mac) Reset(cfg Config, src *rng.Source) {
 	for i := range m.arf {
 		m.arf[i] = arfState{}
 	}
+	m.down = false
 	m.le.init(&m.cfg, m.sim)
 	m.energy = energyMeter{params: DefaultEnergyParams()}
 	m.Ctr = Counters{}
+}
+
+// Crash models a node failure: the interface queue and the frame in
+// service are discarded, every pending DCF timer is cancelled, and all
+// volatile link state (duplicate filters, rate adaptation) is cleared —
+// a power-cycled interface renegotiates those from scratch. Counters and
+// the load-estimator ticker survive (the estimator decays to zero while
+// the node is silent). The caller crashes the radio separately.
+func (m *Mac) Crash() {
+	m.down = true
+	for i := range m.queue {
+		m.queue[i] = nil
+	}
+	m.queue = m.queue[:0]
+	m.cur = nil
+	m.curBuf = outgoing{}
+	m.state = accIdle
+	m.cw = m.cfg.CWMin
+	m.backoffSlots = 0
+	m.backoffEv.Cancel()
+	m.deferEv.Cancel()
+	m.ackEv.Cancel()
+	m.ctsEv.Cancel()
+	m.navEv.Cancel()
+	m.carrierBusy = false
+	m.useEIFS = false
+	m.pendingAckTx = false
+	m.navUntil = 0
+	for i := range m.lastSeq {
+		m.lastSeq[i] = -1
+	}
+	for i := range m.arf {
+		m.arf[i] = arfState{}
+	}
+	m.le.setQueueLen(0)
+	m.le.setOccupied(false)
+	m.noteRadioState()
+}
+
+// Recover brings a crashed MAC back up, idle on an apparently clear
+// channel. Call before recovering the radio: its SetDown(false) replays
+// the current carrier state into the fresh MAC.
+func (m *Mac) Recover() {
+	m.down = false
+	m.noteRadioState()
 }
 
 // SetUpper installs the network layer (two-phase: the routing agent needs
@@ -205,6 +255,10 @@ func (m *Mac) QueueLen() int {
 // link-layer broadcast). The packet joins the drop-tail interface queue;
 // drops are counted, not reported.
 func (m *Mac) Send(p *pkt.Packet, nextHop pkt.NodeID) {
+	if m.down {
+		m.Ctr.DroppedDown++
+		return
+	}
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.Ctr.DroppedQueueFull++
 		return
@@ -444,6 +498,9 @@ func (m *Mac) scheduleAck(dst pkt.NodeID) {
 }
 
 func (m *Mac) sendAck(dst pkt.NodeID) {
+	if m.down {
+		return // scheduled before a crash
+	}
 	if m.radio.Transmitting() {
 		// Cannot happen under half-duplex rules, but never crash the run —
 		// drop the ACK (the sender will retry) and resume contention.
@@ -497,6 +554,9 @@ func (m *Mac) isDup(src pkt.NodeID, seq uint16) bool {
 
 // RadioCarrier implements radio.Listener.
 func (m *Mac) RadioCarrier(busy bool) {
+	if m.down {
+		return
+	}
 	m.carrierBusy = busy
 	m.le.setOccupied(busy || m.radio.Transmitting())
 	m.noteRadioState()
@@ -515,6 +575,9 @@ func (m *Mac) RadioTxDone(payload any) {
 	if !ok {
 		panic(fmt.Sprintf("mac %v: foreign payload %T on radio", m.id, payload))
 	}
+	if m.down {
+		return // airtime of a frame truncated by our crash just ended
+	}
 	m.le.setOccupied(m.carrierBusy)
 	m.noteRadioState()
 	switch f.Type {
@@ -526,9 +589,15 @@ func (m *Mac) RadioTxDone(payload any) {
 		}
 		return
 	case RTSFrame:
+		if m.cur == nil {
+			return // completion of a frame orphaned by a crash/recover cycle
+		}
 		m.state = accWaitCts
 		m.ctsEv = m.sim.Schedule(m.cfg.CTSTimeout(), m.onCtsTimeoutFn)
 		return
+	}
+	if m.cur == nil {
+		return // completion of a frame orphaned by a crash/recover cycle
 	}
 	if f.Dst == pkt.Broadcast {
 		m.finishCur(true)
@@ -558,6 +627,9 @@ func (m *Mac) onCtsTimeout() {
 
 // sendCts answers an RTS after SIFS.
 func (m *Mac) sendCts(dst pkt.NodeID, nav des.Time) {
+	if m.down {
+		return // scheduled before a crash
+	}
 	if m.radio.Transmitting() {
 		m.pendingAckTx = false
 		if m.cur != nil && m.state == accPostponed {
@@ -574,6 +646,9 @@ func (m *Mac) sendCts(dst pkt.NodeID, nav des.Time) {
 
 // RadioReceive implements radio.Listener.
 func (m *Mac) RadioReceive(payload any, bytes int, ok bool) {
+	if m.down {
+		return
+	}
 	if !ok {
 		m.Ctr.RxCorrupted++
 		m.useEIFS = true

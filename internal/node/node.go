@@ -28,6 +28,25 @@ func (n *Node) SetDeliver(f func(p *pkt.Packet, from pkt.NodeID)) {
 	n.Agent.Env.Deliver = f
 }
 
+// Crash fails the whole stack at once: the radio detaches from the
+// medium (truncating any frame it was sending), the MAC flushes its
+// queue and timers, and the routing agent loses all volatile state while
+// keeping its AODV sequence number. Idempotent.
+func (n *Node) Crash() {
+	n.Radio.SetDown(true)
+	n.Mac.Crash()
+	n.Agent.Crash()
+}
+
+// Recover reboots a crashed stack. The MAC and agent come up first so
+// the radio's re-attachment can replay the current carrier state into a
+// clean MAC. Idempotent for a node that is already up.
+func (n *Node) Recover() {
+	n.Mac.Recover()
+	n.Agent.Recover()
+	n.Radio.SetDown(false)
+}
+
 // AgentFactory builds a routing agent for one node (schemes provide
 // closures over their parameters).
 type AgentFactory func(env routing.Env) *routing.Core

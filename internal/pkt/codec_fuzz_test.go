@@ -1,0 +1,90 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+
+	"clnlr/internal/des"
+)
+
+// corpusPackets returns one representative packet per Kind (plus variants
+// with empty and populated variable-length sections) to seed the fuzzers.
+func corpusPackets() []*Packet {
+	return []*Packet{
+		NewData(3, 7, 512, 2, 41, 5*des.Second, 30),
+		NewRREQ(RREQBody{
+			ID: 9, Origin: 3, OriginSeq: 17, Target: 7, TargetSeq: 4,
+			TargetSeqKnown: true, HopCount: 2, Cost: 3.75, Attempt: 1,
+		}, des.Second, 30),
+		NewRREP(5, RREPBody{
+			Origin: 3, Target: 7, TargetSeq: 18, HopCount: 4, Cost: 6.5,
+			Lifetime: 5 * des.Second,
+		}, 2*des.Second, 30),
+		NewRERR(5, nil, des.Second),
+		NewRERR(5, []UnreachableDest{{Node: 7, Seq: 18}, {Node: 9, Seq: 2}}, des.Second),
+		NewHello(4, HelloBody{Load: 0.25}, des.Second),
+		NewHello(4, HelloBody{Load: 0.25, NbrLoads: []NeighborLoad{
+			{ID: 1, Load: 0.5}, {ID: 2, Load: 0.125},
+		}}, des.Second),
+	}
+}
+
+// FuzzDecode asserts the decoder never panics and never both errors and
+// returns a packet, no matter the input bytes.
+func FuzzDecode(f *testing.F) {
+	for _, p := range corpusPackets() {
+		f.Add(p.Marshal())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{codecVersion})
+	f.Add([]byte{99, 0}) // wrong version
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if (p == nil) == (err == nil) {
+			t.Fatalf("exactly one of packet/error must be set: p=%v err=%v", p, err)
+		}
+	})
+}
+
+// FuzzRoundTrip asserts encode∘decode is the identity on the codec's image:
+// any input that decodes must re-encode to a canonical form that is a
+// fixpoint (decode → encode → decode → encode yields identical bytes).
+// Comparing canonical re-encodings instead of the raw input tolerates
+// non-canonical inputs the decoder accepts (e.g. any non-zero byte for a
+// bool) without weakening the identity on well-formed encodings.
+func FuzzRoundTrip(f *testing.F) {
+	for _, p := range corpusPackets() {
+		f.Add(p.Marshal())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p1, err := Unmarshal(data)
+		if err != nil {
+			t.Skip()
+		}
+		b1 := p1.Marshal()
+		p2, err := Unmarshal(b1)
+		if err != nil {
+			t.Fatalf("re-encoding of a decoded packet does not decode: %v\npacket: %v", err, p1)
+		}
+		b2 := p2.Marshal()
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("canonical encoding is not a fixpoint:\n b1 %x\n b2 %x", b1, b2)
+		}
+	})
+}
+
+// TestRoundTripCorpus pins the strict identity — Unmarshal(Marshal(p))
+// re-encodes to the same bytes — for every packet kind, so the fuzzers'
+// seed corpus is also exercised in plain `go test` runs.
+func TestRoundTripCorpus(t *testing.T) {
+	for _, p := range corpusPackets() {
+		b := p.Marshal()
+		q, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if !bytes.Equal(b, q.Marshal()) {
+			t.Fatalf("%v: round trip changed encoding", p)
+		}
+	}
+}

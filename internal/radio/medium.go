@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"clnlr/internal/des"
+	"clnlr/internal/fault"
 	"clnlr/internal/geom"
 )
 
@@ -107,6 +108,14 @@ type Radio struct {
 
 	transmitting bool
 	current      arrival // the frame being received; current.t == nil if none
+	// tx is the radio's own transmission in flight (nil otherwise); kept
+	// so a crash mid-transmission can corrupt its receivers.
+	tx *transmission
+	// down marks a crashed node: the radio neither starts receptions nor
+	// surfaces carrier transitions, and transmissions skip it entirely.
+	// In-flight energy still propagates (the crash does not rewrite
+	// frames already on the air).
+	down bool
 	// energy is the aggregate power of all ongoing foreign arrivals.
 	energy float64
 	// live tracks ongoing foreign transmissions audible here, to rebuild
@@ -186,10 +195,16 @@ type Medium struct {
 
 	txPool []*transmission
 
+	// impair, when non-nil, is the per-link burst-loss process applied to
+	// otherwise-successful deliveries (fault injection). It is evaluated
+	// identically on the indexed and reference paths.
+	impair *fault.LinkModel
+
 	// Counters for validation and benchmarks.
 	Transmissions uint64
 	Deliveries    uint64
 	Corruptions   uint64
+	ImpairDrops   uint64
 }
 
 // NewMedium creates an empty channel using the given propagation model.
@@ -208,6 +223,22 @@ func NewMedium(sim *des.Sim, prop Propagation) *Medium {
 // prove the indexed path reproduces reference results bit-for-bit; it is
 // not meant for production runs.
 func (m *Medium) SetReference(on bool) { m.reference = on }
+
+// SetImpairment installs (or, when p is disabled, removes) the per-link
+// Gilbert–Elliott burst-loss process, keyed by the run seed. Call after
+// every radio is attached and after each Reset; an existing model is
+// re-parameterised in place so warm engine reuse does not allocate.
+func (m *Medium) SetImpairment(p fault.LinkParams, seed uint64) {
+	if !p.Enabled() {
+		m.impair = nil
+		return
+	}
+	if m.impair == nil {
+		m.impair = fault.NewLinkModel(p, seed, len(m.radios))
+		return
+	}
+	m.impair.Reset(p, seed, len(m.radios))
+}
 
 // Reset prepares the medium for a fresh run under a (possibly different)
 // propagation model while keeping the attached radios, the transmission
@@ -233,12 +264,15 @@ func (m *Medium) Reset(prop Propagation, positions []geom.Point) {
 	}
 	m.gridDecided = false
 	m.grid = nil
-	m.Transmissions, m.Deliveries, m.Corruptions = 0, 0, 0
+	m.impair = nil // reinstalled per run via SetImpairment
+	m.Transmissions, m.Deliveries, m.Corruptions, m.ImpairDrops = 0, 0, 0, 0
 	for i, r := range m.radios {
 		r.pos = positions[i]
 		r.channel = 0
 		r.transmitting = false
 		r.current = arrival{}
+		r.tx = nil
+		r.down = false
 		r.energy = 0
 		for j := range r.live {
 			r.live[j] = liveArrival{}
@@ -418,6 +452,43 @@ func (m *Medium) InRange(from, to int) bool {
 // Transmitting reports whether the radio is currently sending.
 func (r *Radio) Transmitting() bool { return r.transmitting }
 
+// Down reports whether the radio is crashed (see SetDown).
+func (r *Radio) Down() bool { return r.down }
+
+// SetDown crashes (true) or recovers (false) the radio.
+//
+// Crashing abandons any reception in progress and truncates the radio's
+// own transmission: receivers locked onto it see a corrupted frame (the
+// remaining airtime carries junk — the energy stays on the air so carrier
+// sense and interference are unaffected, exactly what a dying transmitter
+// radiates). While down the radio is excluded from the candidate set of
+// every new transmission and surfaces no listener callbacks.
+//
+// Recovering re-admits the radio and pushes the current carrier state to
+// the listener, which the caller must have reset first (a power-cycled
+// MAC starts from idle and must learn that the channel is busy).
+func (r *Radio) SetDown(down bool) {
+	if r.down == down {
+		return
+	}
+	r.down = down
+	if down {
+		r.current = arrival{}
+		if r.tx != nil {
+			for _, rx := range r.tx.touched {
+				if rx.current.t == r.tx && !rx.current.corrupted {
+					rx.current.corrupted = true
+					r.m.Corruptions++
+				}
+			}
+		}
+		return
+	}
+	if r.busy && r.listener != nil {
+		r.listener.RadioCarrier(true)
+	}
+}
+
 // CarrierBusy reports the current carrier-sense state (excluding own tx).
 func (r *Radio) CarrierBusy() bool { return r.energy >= r.params.CsThreshW }
 
@@ -444,6 +515,9 @@ func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScal
 	if snrScale < 1 {
 		snrScale = 1
 	}
+	if r.down {
+		panic(fmt.Sprintf("radio %d: Transmit while down", r.id))
+	}
 	m := r.m
 	m.Transmissions++
 	r.transmitting = true
@@ -458,6 +532,7 @@ func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScal
 	t.bytes = bytes
 	t.end = m.sim.Now() + duration
 	t.snrScale = snrScale
+	r.tx = t
 
 	var candidates []*Radio
 	if m.reference {
@@ -466,7 +541,7 @@ func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScal
 		candidates = m.receivers(r)
 	}
 	for _, rx := range candidates {
-		if rx == r || rx.channel != r.channel {
+		if rx == r || rx.down || rx.channel != r.channel {
 			continue
 		}
 		p := m.rxPower(r, rx)
@@ -494,6 +569,7 @@ func (m *Medium) finish(t *transmission) {
 	payload := t.payload
 	m.releaseTransmission(t)
 	src.transmitting = false
+	src.tx = nil
 	src.listener.RadioTxDone(payload)
 	// The channel may have become busy underneath the transmission.
 	src.updateCarrier()
@@ -556,6 +632,10 @@ func (r *Radio) arrivalEnd(t *transmission, p float64, pos int32) {
 	if r.current.t == t {
 		ok := !r.current.corrupted && !r.transmitting
 		r.current = arrival{}
+		if ok && r.m.impair != nil && !r.m.impair.Deliver(t.src.id, r.id, r.m.sim.Now()) {
+			ok = false
+			r.m.ImpairDrops++
+		}
 		if ok {
 			r.m.Deliveries++
 		}
@@ -576,7 +656,7 @@ func (r *Radio) updateCarrier() {
 
 func (r *Radio) carrierFlip(b bool) {
 	r.busy = b
-	if r.listener != nil {
+	if r.listener != nil && !r.down {
 		r.listener.RadioCarrier(b)
 	}
 }

@@ -120,6 +120,9 @@ type Core struct {
 	replyWaits   map[rreqKey]*replyWait
 	hello        *des.Ticker
 
+	// down marks a crashed node (see Crash/Recover).
+	down bool
+
 	// Ctr tallies this node's routing events.
 	Ctr Counters
 }
@@ -160,8 +163,46 @@ func (c *Core) Reset(env Env, cfg Config, policy RREQPolicy) {
 	c.pendingCount = 0
 	clear(c.replyWaits)
 	c.hello = nil
+	c.down = false
 	c.Ctr = Counters{}
 	env.Mac.SetUpper(c)
+}
+
+// Crash models a node failure at the routing layer: all volatile state —
+// routing table, duplicate cache, neighbour table, in-progress
+// discoveries (their buffered packets are dropped) and open reply
+// windows — is lost, and the HELLO beacon stops. The AODV sequence
+// number and RREQ ID deliberately survive: RFC 3561 §6.1 requires a
+// node's sequence number to persist (or only ever advance) across
+// reboots so stale pre-crash routes toward it can never beat fresh ones.
+func (c *Core) Crash() {
+	c.down = true
+	c.table.Reset()
+	c.dup.Reset(c.Cfg.DupHorizon)
+	c.nbrs.Reset(c.Cfg.HelloInterval * des.Time(c.Cfg.HelloLossAllowance+1))
+	for i, d := range c.pending {
+		if d == nil {
+			continue
+		}
+		d.timer.Cancel()
+		c.Ctr.DropCrashed += uint64(len(d.buffer))
+		c.pending[i] = nil
+	}
+	c.pendingCount = 0
+	clear(c.replyWaits)
+	if c.hello != nil {
+		c.hello.Stop()
+	}
+}
+
+// Recover brings a crashed node back up with empty tables and its
+// persistent sequence number, restarting the HELLO beacon with a fresh
+// randomised phase.
+func (c *Core) Recover() {
+	c.down = false
+	if c.hello != nil {
+		c.hello.Start(des.Time(c.Env.Rng.Intn(int(c.Cfg.HelloInterval))))
+	}
 }
 
 // Preallocate sizes every dense per-node structure (routing-table slots,
@@ -253,6 +294,10 @@ func (c *Core) NeighborhoodLoad(twoHop bool) float64 {
 // buffer it and start discovery.
 func (c *Core) Send(p *pkt.Packet) {
 	c.Ctr.DataOriginated++
+	if c.down {
+		c.Ctr.DropCrashed++
+		return
+	}
 	if r := c.table.Lookup(p.Dst); r != nil {
 		c.forwardData(p, r)
 		return
@@ -399,6 +444,9 @@ func (c *Core) SuppressRREQ() {
 
 // MacReceive implements mac.Upper.
 func (c *Core) MacReceive(p *pkt.Packet, from pkt.NodeID) {
+	if c.down {
+		return
+	}
 	switch p.Kind {
 	case pkt.RREQ:
 		c.handleRREQ(p, from)
@@ -462,6 +510,9 @@ func (c *Core) handleTargetRREQ(p *pkt.Packet, from pkt.NodeID, first bool) {
 		c.replyWaits[k] = &replyWait{best: cand}
 		c.Env.Sim.Schedule(c.Cfg.ReplyWindow, func() {
 			ww := c.replyWaits[k]
+			if ww == nil {
+				return // window discarded by a crash before it closed
+			}
 			delete(c.replyWaits, k)
 			c.sendRREPAsTarget(b.Origin, ww.best.from, ww.best.hops, ww.best.cost)
 		})
@@ -603,7 +654,7 @@ func (c *Core) staleSeq(dst pkt.NodeID) uint32 {
 
 // MacTxDone implements mac.Upper: unicast failures signal link breakage.
 func (c *Core) MacTxDone(p *pkt.Packet, dst pkt.NodeID, ok bool) {
-	if ok || dst == pkt.Broadcast {
+	if c.down || ok || dst == pkt.Broadcast {
 		return
 	}
 	// The link to dst is dead: purge routes through it and tell upstream.

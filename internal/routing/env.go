@@ -83,6 +83,7 @@ type Counters struct {
 	DropTTL        uint64
 	DropBufferFull uint64
 	DropLinkFail   uint64
+	DropCrashed    uint64 // originated or buffered at a crashed node
 
 	// Discovery outcomes.
 	DiscoveriesStarted   uint64

@@ -394,6 +394,101 @@ func TestLinkFailureTriggersRERRPropagation(t *testing.T) {
 	}
 }
 
+func TestCrashedRelayTriggersRERRAndReroute(t *testing.T) {
+	// Diamond: 0-1-{2,4}-3, where 2 and 4 are alternative middle relays
+	// (1-2-3 on the axis, 1-4-3 offset by 140 m; both legs ≈244 m < the
+	// 250 m range). An active 0→3 flow settles on one relay; crashing that
+	// relay (power-off semantics, not mobility) must exhaust node 1's
+	// retries, trigger a RERR back to the source, and re-discover through
+	// the surviving relay.
+	positions := []geom.Point{
+		{X: 0, Y: 0}, {X: 200, Y: 0}, {X: 400, Y: 0}, {X: 600, Y: 0},
+		{X: 400, Y: 140},
+	}
+	sim, nodes := buildNet(43, positions, aodv.New)
+	seq := 0
+	feeder := des.NewTicker(sim, 200*des.Millisecond, func() {
+		nodes[0].Agent.Send(pkt.NewData(0, 3, 256, 0, seq, sim.Now(), 30))
+		seq++
+	})
+	feeder.Start(des.Second)
+
+	// Crash whichever relay the flow actually uses; the other must take
+	// over. Route lifetime is 5 s, so the pre-crash route is still fresh.
+	var crashed, alternate int
+	var deliveredBefore uint64
+	sim.Schedule(4*des.Second, func() {
+		crashed, alternate = 2, 4
+		if nodes[4].Agent.Ctr.DataForwarded > nodes[2].Agent.Ctr.DataForwarded {
+			crashed, alternate = 4, 2
+		}
+		deliveredBefore = nodes[3].Agent.Ctr.DataDelivered
+		nodes[crashed].Crash()
+	})
+	sim.RunUntil(20 * des.Second)
+
+	if deliveredBefore == 0 {
+		t.Fatal("no packets delivered before the crash")
+	}
+	if nodes[1].Agent.Ctr.RERRSent == 0 {
+		t.Fatal("node upstream of the crashed relay sent no RERR")
+	}
+	if nodes[0].Agent.Ctr.RERRReceived == 0 {
+		t.Fatal("source heard no RERR")
+	}
+	if got := nodes[0].Agent.Ctr.DiscoveriesStarted; got < 2 {
+		t.Fatalf("source started %d discoveries, want ≥2 (initial + re-route)", got)
+	}
+	if nodes[alternate].Agent.Ctr.DataForwarded == 0 {
+		t.Fatal("surviving relay forwarded nothing after the crash")
+	}
+	if after := nodes[3].Agent.Ctr.DataDelivered; after <= deliveredBefore {
+		t.Fatalf("delivery did not resume after the crash: %d then, %d now", deliveredBefore, after)
+	}
+}
+
+func TestCrashedNodeRecoversAndServesAgain(t *testing.T) {
+	// Chain 0-1-2: crash the only relay mid-flow, verify total loss, then
+	// recover it and verify the flow heals via a fresh discovery. Sequence
+	// numbers persist across the restart (RFC 3561 §6.1) so the recovered
+	// node's RREPs stay fresh.
+	positions := geom.ChainPlacement(geom.Point{}, 3, 200)
+	sim, nodes := buildNet(47, positions, aodv.New)
+	seq := 0
+	feeder := des.NewTicker(sim, 250*des.Millisecond, func() {
+		nodes[0].Agent.Send(pkt.NewData(0, 2, 256, 0, seq, sim.Now(), 30))
+		seq++
+	})
+	feeder.Start(des.Second)
+
+	var atCrash, atRecover uint64
+	sim.Schedule(5*des.Second, func() {
+		atCrash = nodes[2].Agent.Ctr.DataDelivered
+		nodes[1].Crash()
+	})
+	sim.Schedule(12*des.Second, func() {
+		atRecover = nodes[2].Agent.Ctr.DataDelivered
+		nodes[1].Recover()
+	})
+	sim.RunUntil(25 * des.Second)
+
+	if atCrash == 0 {
+		t.Fatal("nothing delivered before the crash")
+	}
+	if atRecover != atCrash {
+		t.Fatalf("packets crossed a crashed relay: %d -> %d", atCrash, atRecover)
+	}
+	final := nodes[2].Agent.Ctr.DataDelivered
+	if final <= atRecover {
+		t.Fatalf("flow did not heal after recovery: stuck at %d", final)
+	}
+	// Power-cycle semantics: the relay's volatile routing table was wiped,
+	// so serving the healed flow required it to learn the route afresh.
+	if nodes[1].Agent.Ctr.DataForwarded == 0 {
+		t.Fatal("recovered relay forwarded nothing")
+	}
+}
+
 func TestIntermediateDropAndRERRWithoutRoute(t *testing.T) {
 	// A relay that loses its route mid-stream (expiry) sends a RERR for
 	// in-flight data instead of silently dropping. Build the situation by

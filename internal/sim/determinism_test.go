@@ -41,6 +41,27 @@ func goldenConfigs() map[string]func(*Scenario) {
 		"nakagami": func(sc *Scenario) {
 			sc.PropModel = PropNakagami
 		},
+		// Fault injection must live under the same contract: crash/recover
+		// schedules and Gilbert–Elliott loss draws are pure functions of the
+		// seed, so fast==reference and warm==cold hold bit-for-bit.
+		"node-churn": func(sc *Scenario) {
+			sc.Faults.MeanUpTime = 4 * des.Second
+			sc.Faults.MeanDownTime = 2 * des.Second
+		},
+		"link-impaired": func(sc *Scenario) {
+			sc.Faults.Link.MeanGood = 2 * des.Second
+			sc.Faults.Link.MeanBad = 500 * des.Millisecond
+			sc.Faults.Link.LossBad = 0.8
+			sc.Faults.Link.LossGood = 0.02
+		},
+		"churn-impaired-mobile": func(sc *Scenario) {
+			sc.Faults.MeanUpTime = 4 * des.Second
+			sc.Faults.MeanDownTime = 2 * des.Second
+			sc.Faults.Link.MeanGood = 2 * des.Second
+			sc.Faults.Link.MeanBad = 500 * des.Millisecond
+			sc.Faults.Link.LossBad = 0.8
+			sc.MobilitySpeed = 10
+		},
 	}
 }
 

@@ -69,6 +69,7 @@ func (e *Engine) RunDiscovery(sc Scenario, rounds int, gap des.Time) (DiscoveryR
 	}
 	simk, nodes := e.simk, e.nodes
 	node.StartAll(nodes)
+	attachFaults(sc, simk, nodes, master, sc.Warmup+des.Time(rounds)*gap)
 
 	mgr := traffic.NewManager(simk, nodes, sc.Routing.TTL, 0)
 
@@ -141,14 +142,22 @@ func RunDiscoveryReplications(sc Scenario, rounds int, gap des.Time, reps, worke
 	results := make([]DiscoveryResult, reps)
 	errs := make([]error, reps)
 	engines := make([]*Engine, ResolveWorkers(reps, workers))
-	ParallelForWorkers(reps, workers, func(worker, i int) {
-		if engines[worker] == nil {
-			engines[worker] = NewEngine()
+	panics := ParallelForWorkers(reps, workers, func(worker, i int) {
+		eng := engines[worker]
+		if eng == nil {
+			eng = NewEngine()
 		}
+		engines[worker] = nil // see RunReplications: no warm reuse after a panic
 		s := sc
 		s.Seed = sc.Seed + uint64(i)
-		results[i], errs[i] = engines[worker].RunDiscovery(s, rounds, gap)
+		results[i], errs[i] = eng.RunDiscovery(s, rounds, gap)
+		engines[worker] = eng
 	})
+	for i, err := range panics {
+		if err != nil {
+			errs[i] = err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

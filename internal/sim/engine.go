@@ -51,6 +51,12 @@ type Engine struct {
 // NewEngine returns an empty engine; the first Run builds the network.
 func NewEngine() *Engine { return &Engine{} }
 
+// TestHookRun, when non-nil, is invoked at the start of every engine run
+// with the scenario about to execute. It exists solely so the
+// crash-containment tests (here and in the experiments harness) can
+// inject panics into replication jobs; production code never sets it.
+var TestHookRun func(sc Scenario)
+
 // placementKey captures every scenario field the placement and its
 // connectivity check depend on.
 type placementKey struct {
@@ -128,11 +134,13 @@ func (e *Engine) prepare(sc Scenario, master *rng.Source) (*topo.Topology, error
 			})
 		e.radioParams = sc.Radio
 		e.built = true
+		e.medium.SetImpairment(sc.Faults.Link, sc.Seed)
 		return tp, nil
 	}
 	e.simk.Reset()
 	e.medium.Reset(sc.propagation(), positions)
 	e.medium.SetReference(sc.ReferenceRadio)
+	e.medium.SetImpairment(sc.Faults.Link, sc.Seed)
 	node.ResetNetwork(e.nodes, positions, sc.Mac, master.Derive(1000), spec)
 	return tp, nil
 }
@@ -149,6 +157,9 @@ func (e *Engine) RunTraced(sc Scenario, sink trace.Sink) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
+	if TestHookRun != nil {
+		TestHookRun(sc)
+	}
 	master := rng.New(sc.Seed)
 	tp, err := e.prepare(sc, master)
 	if err != nil {
@@ -161,6 +172,7 @@ func (e *Engine) RunTraced(sc Scenario, sink trace.Sink) (Result, error) {
 	}
 	node.StartAll(e.nodes)
 	attachMobility(sc, e.simk, e.nodes, master)
+	attachFaults(sc, e.simk, e.nodes, master, sc.Warmup+sc.Measure)
 
 	mgr := traffic.NewManager(e.simk, e.nodes, sc.Routing.TTL, sc.Warmup)
 	flows, err := pickFlows(sc, tp, master.Derive(2000))

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/fault"
+)
+
+// churnScenario is quickScenario under heavy node churn: every node
+// crashes roughly every 6 s (held down 2 s), so ~25% of the fleet is dark
+// at any instant of the 18 s horizon.
+func churnScenario() Scenario {
+	sc := quickScenario()
+	sc.Faults.MeanUpTime = 6 * des.Second
+	sc.Faults.MeanDownTime = 2 * des.Second
+	return sc
+}
+
+func TestNodeChurnDegradesDelivery(t *testing.T) {
+	clean, err := Run(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned, err := Run(churnScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churned.Sent == 0 || churned.Delivered == 0 {
+		t.Fatalf("churned run moved no traffic: %+v", churned)
+	}
+	if churned.PDR >= clean.PDR {
+		t.Fatalf("node churn did not hurt delivery: %.3f vs clean %.3f", churned.PDR, clean.PDR)
+	}
+}
+
+func TestNodeChurnDeterministic(t *testing.T) {
+	sc := churnScenario()
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("churned runs with the same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestExplicitCrashSchedule(t *testing.T) {
+	// Pin one relay-heavy node (the 5×5 grid centre, node 12) down for the
+	// whole measurement window via the explicit schedule; no random churn.
+	sc := quickScenario()
+	sc.Faults.Schedule = []fault.NodeEvent{
+		{Node: 12, At: sc.Warmup, Up: false},
+	}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sent == 0 {
+		t.Fatal("no packets sent")
+	}
+	// Killing the centre relay must cost control traffic (RERRs plus
+	// re-discoveries around the hole) relative to the clean run.
+	if r.ControlTx <= clean.ControlTx {
+		t.Fatalf("dead centre relay produced no extra control traffic: %d vs clean %d",
+			r.ControlTx, clean.ControlTx)
+	}
+}
+
+func TestLinkImpairmentCostsDelivery(t *testing.T) {
+	clean, err := Run(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := quickScenario()
+	sc.Faults.Link = fault.LinkParams{
+		MeanGood: 2 * des.Second,
+		MeanBad:  500 * des.Millisecond,
+		LossBad:  0.8,
+		LossGood: 0.02,
+	}
+	impaired, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impaired.Delivered == 0 {
+		t.Fatal("impaired run delivered nothing")
+	}
+	if impaired.PDR > clean.PDR+0.01 {
+		t.Fatalf("burst loss improved PDR: %.3f vs clean %.3f", impaired.PDR, clean.PDR)
+	}
+	// Per-link loss surfaces as MAC retries (and retry drops) for the same
+	// workload.
+	if impaired.MACRetryDrops+impaired.MACQueueDrops <= clean.MACRetryDrops+clean.MACQueueDrops &&
+		impaired.PDR >= clean.PDR {
+		t.Fatalf("impairment left no observable footprint: %+v vs %+v", impaired, clean)
+	}
+}
+
+func TestFaultReplicationsParallelMatchesSerial(t *testing.T) {
+	sc := churnScenario()
+	sc.Measure = 8 * des.Second
+	serial, err := RunReplications(sc, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunReplications(sc, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("fault replication %d differs between serial and parallel execution", i)
+		}
+	}
+}
+
+func TestParallelForWorkersContainsPanic(t *testing.T) {
+	const n = 8
+	ran := make([]bool, n)
+	errs := ParallelForWorkers(n, 1, func(_, i int) {
+		ran[i] = true
+		if i == 3 {
+			panic("injected")
+		}
+	})
+	if errs == nil {
+		t.Fatal("panic was not reported")
+	}
+	for i := 0; i < n; i++ {
+		if !ran[i] {
+			t.Errorf("index %d did not run after the panic at 3", i)
+		}
+		if i == 3 {
+			var pe *PanicError
+			if !errors.As(errs[i], &pe) {
+				t.Fatalf("index 3 error %T, want *PanicError", errs[i])
+			}
+			if pe.Value != "injected" || len(pe.Stack) == 0 {
+				t.Fatalf("panic error lost value or stack: %+v", pe)
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Errorf("index %d has spurious error %v", i, errs[i])
+		}
+	}
+	if got := ParallelForWorkers(4, 2, func(_, _ int) {}); got != nil {
+		t.Fatalf("clean run returned errors %v", got)
+	}
+}
+
+func TestRunReplicationsContainsPanic(t *testing.T) {
+	sc := quickScenario()
+	sc.Measure = 5 * des.Second
+	badSeed := sc.Seed + 1
+	testHookReplication = func(seed uint64) {
+		if seed == badSeed {
+			panic("injected replication failure")
+		}
+	}
+	defer func() { testHookReplication = nil }()
+
+	const reps = 3
+	rs, err := RunReplications(sc, reps, 1)
+	if err == nil {
+		t.Fatal("panicking replication reported no error")
+	}
+	if !strings.Contains(err.Error(), "seed 2") ||
+		!strings.Contains(err.Error(), "injected replication failure") {
+		t.Fatalf("error does not name the failed seed and cause:\n%v", err)
+	}
+	if len(rs) != reps {
+		t.Fatalf("partial results truncated: %d, want %d", len(rs), reps)
+	}
+	// The surviving replications must be intact — identical to a clean run
+	// of the same seeds — and the failed slot zero.
+	testHookReplication = nil
+	clean, cerr := RunReplications(sc, reps, 1)
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	for i, r := range rs {
+		if sc.Seed+uint64(i) == badSeed {
+			if r != (Result{}) {
+				t.Fatalf("failed slot not zero: %+v", r)
+			}
+			continue
+		}
+		if r != clean[i] {
+			t.Fatalf("surviving replication %d corrupted by neighbour's panic:\n%+v\n%+v", i, r, clean[i])
+		}
+	}
+}

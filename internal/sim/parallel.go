@@ -3,17 +3,40 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"clnlr/internal/stats"
 )
 
+// PanicError wraps a panic recovered from one parallel job, preserving
+// the panic value and the goroutine stack at the point of failure.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// testHookReplication, when non-nil, runs at the start of every
+// RunReplications job with that job's seed (crash-containment test
+// instrumentation only).
+var testHookReplication func(seed uint64)
+
 // RunReplications executes reps independent replications of sc (seeds
 // sc.Seed, sc.Seed+1, …) across a bounded worker pool and returns the
 // results in seed order. workers ≤ 0 selects GOMAXPROCS. Each replication
 // owns its entire simulation state, so the fan-out is embarrassingly
 // parallel; only the slot in the pre-sized result slice is shared.
+//
+// A replication that fails — by error or by panic (recovered with its
+// stack) — does not abort the others: every remaining job still runs,
+// the returned slice holds the successful results in place (failed slots
+// are zero), and the error aggregates every failure with its seed.
 func RunReplications(sc Scenario, reps, workers int) ([]Result, error) {
 	if reps <= 0 {
 		return nil, fmt.Errorf("sim: non-positive replication count %d", reps)
@@ -21,18 +44,37 @@ func RunReplications(sc Scenario, reps, workers int) ([]Result, error) {
 	results := make([]Result, reps)
 	errs := make([]error, reps)
 	engines := make([]*Engine, ResolveWorkers(reps, workers))
-	ParallelForWorkers(reps, workers, func(worker, i int) {
-		if engines[worker] == nil {
-			engines[worker] = NewEngine()
+	panics := ParallelForWorkers(reps, workers, func(worker, i int) {
+		eng := engines[worker]
+		if eng == nil {
+			eng = NewEngine()
 		}
+		// Leave the slot empty until the run returns: an engine that
+		// panicked mid-run holds arbitrary partial state and must not be
+		// reused warm by this worker's next job.
+		engines[worker] = nil
 		s := sc
 		s.Seed = sc.Seed + uint64(i)
-		results[i], errs[i] = engines[worker].Run(s)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if testHookReplication != nil {
+			testHookReplication(s.Seed)
 		}
+		results[i], errs[i] = eng.Run(s)
+		engines[worker] = eng
+	})
+	for i, err := range panics {
+		if err != nil {
+			errs[i] = err
+		}
+	}
+	var failed []string
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("seed %d: %v", sc.Seed+uint64(i), err))
+		}
+	}
+	if len(failed) > 0 {
+		return results, fmt.Errorf("sim: %d of %d replications failed:\n%s",
+			len(failed), reps, strings.Join(failed, "\n"))
 	}
 	return results, nil
 }
@@ -44,8 +86,12 @@ func RunReplications(sc Scenario, reps, workers int) ([]Result, error) {
 // slot in any result slice, so no further synchronisation is needed by
 // callers. Exported for cross-package job sets (the experiments scheduler
 // flattens every figure's cells into a single call).
-func ParallelFor(n, workers int, fn func(i int)) {
-	ParallelForWorkers(n, workers, func(_, i int) { fn(i) })
+//
+// A panicking fn is recovered and surfaced as that index's entry in the
+// returned slice (nil when every index completed); the remaining indices
+// still run.
+func ParallelFor(n, workers int, fn func(i int)) []error {
+	return ParallelForWorkers(n, workers, func(_, i int) { fn(i) })
 }
 
 // ResolveWorkers returns the pool size ParallelFor(Workers) actually uses
@@ -69,16 +115,43 @@ func ResolveWorkers(n, workers int) int {
 // exposed to fn. Each worker index is owned by exactly one goroutine for
 // the whole call, so fn can keep per-worker reusable state — warm
 // simulation engines — in a slice indexed by it without locking.
-func ParallelForWorkers(n, workers int, fn func(worker, i int)) {
+//
+// Panic containment: a panic inside fn is recovered into a *PanicError
+// (value + stack) at that index of the returned slice and the worker
+// moves on to its next job — one poisoned cell out of thousands must not
+// take down a whole sweep. The return is nil when every index completed.
+// Callers holding per-worker state fn mutates mid-job (warm engines)
+// should treat it as garbage for indices that panicked and rebuild.
+func ParallelForWorkers(n, workers int, fn func(worker, i int)) []error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	var (
+		errs   []error
+		errsMu sync.Mutex
+	)
+	record := func(i int, err error) {
+		errsMu.Lock()
+		if errs == nil {
+			errs = make([]error, n)
+		}
+		errs[i] = err
+		errsMu.Unlock()
+	}
+	call := func(worker, i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				record(i, &PanicError{Value: v, Stack: debug.Stack()})
+			}
+		}()
+		fn(worker, i)
 	}
 	workers = ResolveWorkers(n, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(0, i)
+			call(0, i)
 		}
-		return
+		return errs
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -91,11 +164,12 @@ func ParallelForWorkers(n, workers int, fn func(worker, i int)) {
 				if i >= n {
 					return
 				}
-				fn(worker, i)
+				call(worker, i)
 			}
 		}(w)
 	}
 	wg.Wait()
+	return errs
 }
 
 // Metric extracts one scalar from a Result (for summarising replications).

@@ -114,6 +114,27 @@ func attachMobility(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.
 	w.Start()
 }
 
+// attachFaults schedules the scenario's crash/recover events over
+// [0, horizon). The whole schedule is materialised up front from a
+// dedicated stream (Derive(7000), then per-node Derive(i) inside
+// DrawSchedule), so the randomness consumed never depends on event
+// interleaving — the determinism contract fault injection lives under.
+// With churn disabled this consumes nothing and schedules nothing.
+func attachFaults(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.Source, horizon des.Time) {
+	if !sc.Faults.ChurnEnabled() {
+		return
+	}
+	events := sc.Faults.DrawSchedule(len(nodes), horizon, master.Derive(7000))
+	for _, ev := range events {
+		n := nodes[ev.Node]
+		if ev.Up {
+			simk.At(ev.At, n.Recover)
+		} else {
+			simk.At(ev.At, n.Crash)
+		}
+	}
+}
+
 // place generates node positions per the scenario topology. Random
 // placements are re-drawn (with derived seeds) until connected.
 func place(sc Scenario, master *rng.Source) ([]geom.Point, *topo.Topology, error) {

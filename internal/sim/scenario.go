@@ -11,6 +11,7 @@ import (
 
 	"clnlr/internal/core"
 	"clnlr/internal/des"
+	"clnlr/internal/fault"
 	"clnlr/internal/mac"
 	"clnlr/internal/node"
 	"clnlr/internal/radio"
@@ -106,6 +107,13 @@ type Scenario struct {
 	PathLossExp   float64
 	ShadowSigmaDB float64
 	NakagamiM     int
+
+	// Faults configures deterministic fault injection: node churn
+	// (crash/recover schedules drawn from the run seed or given
+	// explicitly) and Gilbert–Elliott per-link burst loss. The zero value
+	// disables both, consuming no randomness, so fault-free runs are
+	// bit-identical to scenarios predating this field (experiment F-R11).
+	Faults fault.Config
 
 	// Mobility: MobilitySpeed > 0 moves nodes by random waypoint with
 	// that maximum speed (m/s); MobilityPause is the per-waypoint dwell
@@ -217,6 +225,30 @@ func (s Scenario) Validate() error {
 	}
 	if s.Measure <= 0 {
 		return fmt.Errorf("sim: non-positive measurement window")
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("sim: negative warm-up")
+	}
+	if s.TrafficStart < 0 {
+		return fmt.Errorf("sim: negative traffic start")
+	}
+	if s.SessionTime < 0 {
+		return fmt.Errorf("sim: negative session time")
+	}
+	if s.MobilitySpeed < 0 {
+		return fmt.Errorf("sim: negative mobility speed")
+	}
+	if s.MobilityPause < 0 {
+		return fmt.Errorf("sim: negative mobility pause")
+	}
+	if s.PerturbFrac < 0 || s.PerturbFrac > 1 {
+		return fmt.Errorf("sim: perturbation fraction %v outside [0,1]", s.PerturbFrac)
+	}
+	if s.NakagamiM < 0 {
+		return fmt.Errorf("sim: negative Nakagami shape")
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
 	}
 	if s.NodeCount() < 2 {
 		return fmt.Errorf("sim: need at least 2 nodes")

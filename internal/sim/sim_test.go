@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"clnlr/internal/des"
+	"clnlr/internal/fault"
 	"clnlr/internal/rng"
 	"clnlr/internal/trace"
 )
@@ -34,6 +35,28 @@ func TestValidateCatchesErrors(t *testing.T) {
 		func(s *Scenario) { s.PayloadBytes = 0 },
 		func(s *Scenario) { s.Measure = 0 },
 		func(s *Scenario) { s.Rows, s.Cols = 1, 1 },
+		func(s *Scenario) { s.Warmup = -des.Second },
+		func(s *Scenario) { s.TrafficStart = -des.Second },
+		func(s *Scenario) { s.SessionTime = -des.Second },
+		func(s *Scenario) { s.MobilitySpeed = -1 },
+		func(s *Scenario) { s.MobilityPause = -des.Second },
+		func(s *Scenario) { s.PerturbFrac = -0.1 },
+		func(s *Scenario) { s.PerturbFrac = 1.5 },
+		func(s *Scenario) { s.NakagamiM = -1 },
+		func(s *Scenario) { s.Faults.MeanUpTime = -des.Second },
+		func(s *Scenario) { s.Faults.MeanDownTime = -des.Second },
+		func(s *Scenario) { s.Faults.Schedule = []fault.NodeEvent{{Node: -1}} },
+		func(s *Scenario) { s.Faults.Schedule = []fault.NodeEvent{{Node: 0, At: -des.Second}} },
+		func(s *Scenario) { s.Faults.Link.MeanBad = des.Second; s.Faults.Link.LossBad = 0.5 }, // enabled without MeanGood
+		func(s *Scenario) {
+			s.Faults.Link = fault.LinkParams{MeanGood: des.Second, MeanBad: des.Second, LossBad: 1.5}
+		},
+		func(s *Scenario) {
+			s.Faults.Link = fault.LinkParams{MeanGood: des.Second, MeanBad: des.Second, LossBad: 0.5, LossGood: -0.1}
+		},
+		func(s *Scenario) {
+			s.Faults.Link = fault.LinkParams{MeanGood: des.Second, MeanBad: des.Second, LossBad: 0.5, Slot: -des.Millisecond}
+		},
 	}
 	for i, m := range muts {
 		sc := DefaultScenario()
