@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/des
+	$(GO) test -race ./internal/sim ./internal/des ./internal/experiments ./internal/metrics
 
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x .

@@ -12,6 +12,7 @@ import (
 
 	"clnlr/internal/des"
 	"clnlr/internal/experiments"
+	"clnlr/internal/metrics"
 	"clnlr/internal/sim"
 )
 
@@ -213,6 +214,28 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	sc.Measure = 30 * des.Second
 	sc.SessionTime = 10 * des.Second
 	benchThroughput(b, sc)
+}
+
+// BenchmarkSimulatorThroughputMetrics is BenchmarkSimulatorThroughput with
+// the flight recorder on at its default 100 ms sampling interval — the
+// overhead of metrics collection is the delta between the two. The
+// collector is reused warm across iterations, matching how the sweep
+// runners hold one per worker.
+func BenchmarkSimulatorThroughputMetrics(b *testing.B) {
+	sc := sim.DefaultScenario()
+	sc.Measure = 30 * des.Second
+	sc.SessionTime = 10 * des.Second
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	col := metrics.NewCollector(100 * des.Millisecond)
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		if _, err := eng.RunObserved(sc, nil, col); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simSeconds := (sc.Warmup + sc.Measure).Seconds() * float64(b.N)
+	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
 }
 
 // BenchmarkSimulatorThroughputLargeN scales the deployment to a 15×15 grid

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"clnlr/internal/experiments"
+	"clnlr/internal/metrics"
 	"clnlr/internal/prof"
 )
 
@@ -29,13 +30,16 @@ func main() {
 
 	profFlags := prof.RegisterFlags(nil)
 	var (
-		quick   = flag.Bool("quick", false, "small sweeps and few replications (smoke run)")
-		reps    = flag.Int("reps", 0, "replications per point (default 10, quick 3)")
-		seed    = flag.Uint64("seed", 1, "base random seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		out     = flag.String("out", "", "directory to write per-figure CSV files")
-		charts  = flag.Bool("plot", false, "render ASCII charts in addition to tables")
-		figSel  = flag.String("fig", "", "comma-separated figure IDs to run (default all), e.g. F-R1,F-R3")
+		quick    = flag.Bool("quick", false, "small sweeps and few replications (smoke run)")
+		reps     = flag.Int("reps", 0, "replications per point (default 10, quick 3)")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "directory to write per-figure CSV files")
+		charts   = flag.Bool("plot", false, "render ASCII charts in addition to tables")
+		figSel   = flag.String("fig", "", "comma-separated figure IDs to run (default all), e.g. F-R1,F-R3")
+		status   = flag.String("status", "", "serve live sweep progress (expvar \"sweep\" at /debug/vars) and pprof on this address, e.g. localhost:6060")
+		progress = flag.Duration("progress", 0, "log a one-line progress summary at this wall-clock interval (0 = off)")
+		reports  = flag.String("reports", "", "directory to write per-cell run reports (JSON, with per-layer counters)")
 	)
 	flag.Parse()
 
@@ -54,6 +58,33 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+
+	prog := metrics.NewProgress()
+	cfg.Progress = prog
+	if *status != "" {
+		prog.Publish("sweep")
+		url, stopStatus, err := prof.Serve(*status)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopStatus()
+		log.Printf("sweep progress at %s/debug/vars (pprof at %s/debug/pprof/)", url, url)
+	}
+	if *progress > 0 {
+		ticker := time.NewTicker(*progress)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				log.Print(prog)
+			}
+		}()
+	}
+	if *reports != "" {
+		if err := os.MkdirAll(*reports, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		cfg.ReportDir = *reports
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*figSel, ",") {

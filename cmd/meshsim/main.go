@@ -10,14 +10,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"time"
 
 	"clnlr/internal/des"
+	"clnlr/internal/metrics"
 	"clnlr/internal/prof"
 	"clnlr/internal/sim"
 	"clnlr/internal/trace"
 )
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -50,6 +66,10 @@ func main() {
 		lossGood   = flag.Float64("loss-good", 0, "link impairment: loss probability in the good state")
 		lossBad    = flag.Float64("loss-bad", 0, "link impairment: loss probability in the bad state")
 		traceFile  = flag.String("trace", "", "write routing-event trace (NDJSON) to this file; forces reps=1")
+		metricsOn  = flag.Bool("metrics", false, "record per-node load time-series; writes <metrics-out>-heatmap.csv and <metrics-out>-series.ndjson; forces reps=1")
+		metricsInt = flag.Duration("metrics-interval", 100*time.Millisecond, "sampling interval of simulated time for -metrics")
+		metricsOut = flag.String("metrics-out", "metrics", "output path prefix for -metrics files")
+		reportFile = flag.String("report", "", "write a machine-readable run report (JSON) to this file; forces reps=1")
 		configFile = flag.String("config", "", "load scenario from a JSON file (flags override its fields)")
 		dumpConfig = flag.String("dump-config", "", "write the effective scenario as JSON to this file and exit")
 	)
@@ -114,25 +134,54 @@ func main() {
 		return
 	}
 
+	collecting := *metricsOn || *reportFile != ""
 	var rs []sim.Result
-	if *traceFile != "" {
-		buf := trace.NewBuffer(1 << 20)
-		r, err := sim.RunTraced(sc, buf)
+	if *traceFile != "" || collecting {
+		// Tracing and metrics both observe a single run (neither changes
+		// its outcome); they compose freely.
+		if *reps > 1 {
+			log.Printf("observability flags force reps=1 (ignoring -reps %d)", *reps)
+		}
+		var buf *trace.Buffer
+		var sink trace.Sink
+		if *traceFile != "" {
+			buf = trace.NewBuffer(1 << 20)
+			sink = buf
+		}
+		var col *metrics.Collector
+		if collecting {
+			col = metrics.NewCollector(des.Time(*metricsInt))
+		}
+		r, err := sim.RunObserved(sc, sink, col)
 		if err != nil {
 			log.Fatal(err)
 		}
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			log.Fatal(err)
+		if buf != nil {
+			if err := writeTo(*traceFile, buf.WriteNDJSON); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %d trace records to %s (%d total, oldest evicted)\n",
+				buf.Len(), *traceFile, buf.Total())
 		}
-		if err := buf.WriteNDJSON(f); err != nil {
-			log.Fatal(err)
+		if *metricsOn {
+			heatmap := *metricsOut + "-heatmap.csv"
+			series := *metricsOut + "-series.ndjson"
+			if err := writeTo(heatmap, col.WriteHeatmapCSV); err != nil {
+				log.Fatal(err)
+			}
+			if err := writeTo(series, col.WriteNDJSON); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %d samples × %d nodes to %s and %s\n",
+				col.Ticks(), col.NumNodes(), heatmap, series)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+		if *reportFile != "" {
+			rep := sim.BuildReport(sc, r, col)
+			if err := writeTo(*reportFile, rep.WriteJSON); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote run report to %s\n", *reportFile)
 		}
-		fmt.Printf("wrote %d trace records to %s (%d total, oldest evicted)\n",
-			buf.Len(), *traceFile, buf.Total())
 		rs = []sim.Result{r}
 		*reps = 1
 	} else {

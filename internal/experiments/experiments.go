@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"clnlr/internal/des"
+	"clnlr/internal/metrics"
 	"clnlr/internal/plot"
 	"clnlr/internal/sim"
 	"clnlr/internal/stats"
@@ -26,6 +27,15 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks sweeps and replication counts for tests/benchmarks.
 	Quick bool
+	// Progress, when non-nil, receives live job registration/completion
+	// for every planner run — the data source for the periodic progress
+	// log and the expvar endpoint. It does not affect results.
+	Progress *metrics.Progress
+	// ReportDir, when non-empty, makes every data-plane replication run
+	// with a counters-only metrics collector and writes one
+	// machine-readable CellReport JSON per clean cell into the directory.
+	// Determinism is unaffected: collection never changes a run's outcome.
+	ReportDir string
 }
 
 // DefaultConfig returns the full-fidelity suite configuration.

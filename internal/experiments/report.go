@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clnlr/internal/sim"
+)
+
+// CellReport is the machine-readable record of one sweep cell, written to
+// Config.ReportDir as <sanitized label>.json. It bundles the cell's
+// identity (label, scenario fingerprint, scheme, base seed), every
+// replication's Result, and — for data-plane cells — the per-layer
+// counters summed over all replications. Discovery cells carry their
+// probe results instead; those runs have no counter hook.
+type CellReport struct {
+	Label       string `json:"label"`
+	Fingerprint string `json:"fingerprint"`
+	Scheme      string `json:"scheme"`
+	Seed        uint64 `json:"seed"`
+	Reps        int    `json:"reps"`
+
+	Counters  map[string]uint64     `json:"counters,omitempty"`
+	Results   []sim.Result          `json:"results,omitempty"`
+	Discovery []sim.DiscoveryResult `json:"discovery,omitempty"`
+}
+
+// cellFileName maps a cell label to a safe file name: every byte outside
+// [A-Za-z0-9._-] becomes '_'.
+func cellFileName(label string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, label)
+	return safe + ".json"
+}
+
+// writeCellReport writes one clean cell's report into dir.
+func writeCellReport(dir string, c *cell) error {
+	rep := CellReport{
+		Label:       c.label,
+		Fingerprint: c.sc.Fingerprint(),
+		Scheme:      string(c.sc.Scheme),
+		Seed:        c.sc.Seed,
+		Reps:        len(c.errs),
+		Results:     c.results,
+		Discovery:   c.dres,
+	}
+	if c.counters != nil {
+		sum := make(map[string]uint64)
+		for _, m := range c.counters {
+			for name, v := range m {
+				sum[name] += v
+			}
+		}
+		rep.Counters = sum
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, cellFileName(c.label)), append(data, '\n'), 0o644)
+}

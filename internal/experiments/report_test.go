@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clnlr/internal/metrics"
+)
+
+func TestSweepProgressAndCellReports(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Progress = metrics.NewProgress()
+	cfg.ReportDir = t.TempDir()
+
+	f, err := FigR5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(flowCounts(cfg)) * len(schemeSet(cfg))
+	checkFigure(t, f, wantCells)
+
+	s := cfg.Progress.Snapshot()
+	if s.JobsTotal != wantCells*cfg.Reps || s.JobsDone != s.JobsTotal {
+		t.Errorf("progress %d/%d jobs, want %d complete", s.JobsDone, s.JobsTotal, wantCells*cfg.Reps)
+	}
+	if s.CellsDone != wantCells || s.CellsTotal != wantCells {
+		t.Errorf("progress %d/%d cells, want %d complete", s.CellsDone, s.CellsTotal, wantCells)
+	}
+
+	files, err := filepath.Glob(filepath.Join(cfg.ReportDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != wantCells {
+		t.Fatalf("got %d cell reports, want %d", len(files), wantCells)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep CellReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("%s: %v", files[0], err)
+	}
+	if rep.Label == "" || rep.Fingerprint == "" || rep.Scheme == "" {
+		t.Errorf("report identity incomplete: %+v", rep)
+	}
+	if rep.Reps != cfg.Reps || len(rep.Results) != cfg.Reps {
+		t.Errorf("report has %d reps / %d results, want %d", rep.Reps, len(rep.Results), cfg.Reps)
+	}
+	if rep.Counters["mac/tx-data"] == 0 || rep.Counters["routing/data-delivered"] == 0 {
+		t.Errorf("summed counters implausible: %v", rep.Counters)
+	}
+}
+
+// TestReportsDoNotPerturbFigures pins the reporting path to the
+// determinism contract: a sweep with collection on must produce the same
+// figure as one without.
+func TestReportsDoNotPerturbFigures(t *testing.T) {
+	plain := tinyConfig()
+	observed := tinyConfig()
+	observed.Progress = metrics.NewProgress()
+	observed.ReportDir = t.TempDir()
+
+	fp, err := FigR5(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := FigR5(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.CSV() != fo.CSV() {
+		t.Error("per-cell reporting changed figure output")
+	}
+}
+
+func TestCellFileName(t *testing.T) {
+	got := cellFileName("F-R3/4/7 rate=8 clnlr-2hop")
+	if got != "F-R3_4_7_rate_8_clnlr-2hop.json" {
+		t.Errorf("cellFileName = %q", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"clnlr/internal/des"
+	"clnlr/internal/metrics"
 	"clnlr/internal/sim"
 )
 
@@ -65,7 +66,10 @@ type cell struct {
 
 	results []sim.Result
 	dres    []sim.DiscoveryResult
-	errs    []error
+	// counters holds each replication's per-layer counter snapshot when
+	// Config.ReportDir enables per-cell reports (data-plane cells only).
+	counters []map[string]uint64
+	errs     []error
 
 	finalize func(*cell)
 }
@@ -108,10 +112,16 @@ func (p *planner) run() error {
 			c.dres = make([]sim.DiscoveryResult, p.cfg.Reps)
 		} else {
 			c.results = make([]sim.Result, p.cfg.Reps)
+			if p.cfg.ReportDir != "" {
+				c.counters = make([]map[string]uint64, p.cfg.Reps)
+			}
 		}
 		c.errs = make([]error, p.cfg.Reps)
 		for r := 0; r < p.cfg.Reps; r++ {
 			jobs = append(jobs, job{c, r})
+		}
+		if p.cfg.Progress != nil {
+			p.cfg.Progress.AddJobs(c.label, p.cfg.Reps)
 		}
 	}
 	// Each worker owns one warm engine for its whole share of the job
@@ -120,6 +130,12 @@ func (p *planner) run() error {
 	// bit-identical to cold runs — see the sim.Engine determinism
 	// contract.
 	engines := make([]*sim.Engine, sim.ResolveWorkers(len(jobs), p.cfg.Workers))
+	// One warm counters-only collector per worker when per-cell reports
+	// are on; each job copies its counter map out after the run.
+	var collectors []*metrics.Collector
+	if p.cfg.ReportDir != "" {
+		collectors = make([]*metrics.Collector, len(engines))
+	}
 	panics := sim.ParallelForWorkers(len(jobs), p.cfg.Workers, func(worker, i int) {
 		eng := engines[worker]
 		if eng == nil {
@@ -134,10 +150,23 @@ func (p *planner) run() error {
 		sc.Seed += uint64(j.rep)
 		if j.c.discovery {
 			j.c.dres[j.rep], j.c.errs[j.rep] = eng.RunDiscovery(sc, j.c.rounds, j.c.gap)
+		} else if collectors != nil {
+			col := collectors[worker]
+			if col == nil {
+				col = metrics.NewCollector(0)
+				collectors[worker] = col
+			}
+			j.c.results[j.rep], j.c.errs[j.rep] = eng.RunObserved(sc, nil, col)
+			if j.c.errs[j.rep] == nil {
+				j.c.counters[j.rep] = col.Counters().Map()
+			}
 		} else {
 			j.c.results[j.rep], j.c.errs[j.rep] = eng.Run(sc)
 		}
 		engines[worker] = eng
+		if p.cfg.Progress != nil {
+			p.cfg.Progress.JobDone(j.c.label)
+		}
 	})
 	for i, err := range panics {
 		if err != nil {
@@ -157,6 +186,11 @@ func (p *planner) run() error {
 		}
 		if clean {
 			c.finalize(c)
+			if p.cfg.ReportDir != "" {
+				if err := writeCellReport(p.cfg.ReportDir, c); err != nil {
+					failures = append(failures, CellFailure{Label: c.label, Seed: c.sc.Seed, Err: err})
+				}
+			}
 		}
 	}
 	if len(failures) > 0 {

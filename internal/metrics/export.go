@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"clnlr/internal/des"
+	"clnlr/internal/pkt"
+)
+
+// WriteHeatmapCSV writes the composite load index as a node×time matrix:
+// the header row is "node" followed by each sampling instant in seconds,
+// and each subsequent row is one node's load series. Floats are rendered
+// with strconv's shortest round-trip formatting, so the bytes are a pure
+// function of the sampled values — the golden determinism tests compare
+// this output byte-for-byte across radio fast/reference paths and
+// warm/cold engines.
+func (c *Collector) WriteHeatmapCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("node")
+	for _, t := range c.times {
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatFloat(t.Seconds(), 'g', -1, 64))
+	}
+	bw.WriteByte('\n')
+	for n := 0; n < c.nodes; n++ {
+		bw.WriteString(strconv.Itoa(n))
+		for k := range c.times {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(c.At(k, n).Load, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// SeriesRecord is one (tick, node) line of the NDJSON series dump. T is
+// simulated nanoseconds, matching trace.Record.
+type SeriesRecord struct {
+	T        des.Time   `json:"t"`
+	Node     pkt.NodeID `json:"node"`
+	Queue    int        `json:"queue"`
+	QueueOcc float64    `json:"queue_occ"`
+	BusyFrac float64    `json:"busy_frac"`
+	Load     float64    `json:"load"`
+	Routes   int        `json:"routes"`
+	DupCache int        `json:"dup_cache"`
+	Up       bool       `json:"up"`
+}
+
+// WriteNDJSON streams every sample as newline-delimited JSON, tick-major
+// then node order.
+func (c *Collector) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for k := range c.times {
+		for n := 0; n < c.nodes; n++ {
+			s := c.At(k, n)
+			rec := SeriesRecord{
+				T:        c.times[k],
+				Node:     pkt.NodeID(n),
+				Queue:    s.Queue,
+				QueueOcc: s.QueueOcc,
+				BusyFrac: s.BusyFrac,
+				Load:     s.Load,
+				Routes:   s.Routes,
+				DupCache: s.DupCache,
+				Up:       s.Up,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RunReport is the machine-readable summary of one instrumented run: the
+// scenario fingerprint, the run envelope (simulated vs wall time, DES
+// events), every registered counter, and the Result-derived metrics.
+// WallSeconds/SimPerWall are host measurements and therefore the only
+// non-deterministic fields; everything else is bit-reproducible.
+type RunReport struct {
+	Name        string `json:"name"`
+	Scheme      string `json:"scheme"`
+	Seed        uint64 `json:"seed"`
+	Nodes       int    `json:"nodes"`
+	Fingerprint string `json:"fingerprint"`
+
+	SimSeconds     float64 `json:"sim_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SimPerWall     float64 `json:"sim_s_per_wall_s"`
+	EventsExecuted uint64  `json:"events_executed"`
+
+	SampleIntervalSec float64 `json:"sample_interval_sec"`
+	Samples           int     `json:"samples"`
+
+	Counters map[string]uint64  `json:"counters"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+// WriteJSON writes the report as indented JSON (map keys sorted by
+// encoding/json, so the byte stream is stable).
+func (r RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

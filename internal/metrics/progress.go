@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Progress aggregates live completion state for a sweep: how many
+// replication jobs exist, how many have finished, and the per-cell
+// breakdown. It is safe for concurrent use — workers call JobDone from
+// the pool — and is the data source for both the periodic one-line
+// progress log and the expvar endpoint cmd/experiments serves.
+//
+// Cells register incrementally (AddJobs), so a suite that builds several
+// planners in sequence accumulates one coherent total; the ETA simply
+// extrapolates the observed rate over the jobs registered so far.
+type Progress struct {
+	mu    sync.Mutex
+	start time.Time
+	total int
+	done  int
+	cells map[string]*cellState
+	order []string
+}
+
+type cellState struct {
+	done, total int
+}
+
+// CellProgress is one cell's completion state in a Snapshot.
+type CellProgress struct {
+	Label string `json:"label"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// Snapshot is a point-in-time copy of the sweep state, JSON-friendly for
+// the expvar endpoint.
+type Snapshot struct {
+	JobsTotal  int     `json:"jobs_total"`
+	JobsDone   int     `json:"jobs_done"`
+	CellsTotal int     `json:"cells_total"`
+	CellsDone  int     `json:"cells_done"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	ETASec     float64 `json:"eta_sec"`
+
+	Cells []CellProgress `json:"cells"`
+}
+
+// NewProgress returns an empty progress tracker; the clock starts now.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now(), cells: make(map[string]*cellState)}
+}
+
+// AddJobs registers n replication jobs under the given cell label
+// (cumulative if the label already exists).
+func (p *Progress) AddJobs(cell string, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs := p.cells[cell]
+	if cs == nil {
+		cs = &cellState{}
+		p.cells[cell] = cs
+		p.order = append(p.order, cell)
+	}
+	cs.total += n
+	p.total += n
+}
+
+// JobDone records the completion of one job of the given cell.
+func (p *Progress) JobDone(cell string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cs := p.cells[cell]; cs != nil {
+		cs.done++
+	}
+	p.done++
+}
+
+// Snapshot returns a consistent copy of the current state. Cells appear
+// in registration order.
+func (p *Progress) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Snapshot{
+		JobsTotal:  p.total,
+		JobsDone:   p.done,
+		CellsTotal: len(p.order),
+		ElapsedSec: time.Since(p.start).Seconds(),
+		Cells:      make([]CellProgress, 0, len(p.order)),
+	}
+	for _, label := range p.order {
+		cs := p.cells[label]
+		if cs.done >= cs.total && cs.total > 0 {
+			s.CellsDone++
+		}
+		s.Cells = append(s.Cells, CellProgress{Label: label, Done: cs.done, Total: cs.total})
+	}
+	if p.done > 0 && p.total > p.done {
+		s.ETASec = s.ElapsedSec / float64(p.done) * float64(p.total-p.done)
+	}
+	return s
+}
+
+// String renders the one-line progress summary the experiments runner
+// logs periodically.
+func (p *Progress) String() string {
+	s := p.Snapshot()
+	pct := 0.0
+	if s.JobsTotal > 0 {
+		pct = 100 * float64(s.JobsDone) / float64(s.JobsTotal)
+	}
+	eta := "n/a"
+	if s.ETASec > 0 {
+		eta = (time.Duration(s.ETASec * float64(time.Second))).Round(time.Second).String()
+	} else if s.JobsDone == s.JobsTotal && s.JobsTotal > 0 {
+		eta = "done"
+	}
+	return fmt.Sprintf("progress: %d/%d replications (%.1f%%), %d/%d cells done, elapsed %s, ETA %s",
+		s.JobsDone, s.JobsTotal, pct, s.CellsDone, s.CellsTotal,
+		time.Duration(s.ElapsedSec*float64(time.Second)).Round(time.Second), eta)
+}
+
+// Publish exposes the tracker as an expvar variable under the given name
+// (typically "sweep", served at /debug/vars by the prof HTTP server).
+// expvar forbids duplicate names process-wide, so call once per name.
+func (p *Progress) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return p.Snapshot() }))
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestProgressAccounting(t *testing.T) {
+	p := NewProgress()
+
+	s := p.Snapshot()
+	if s.JobsTotal != 0 || s.JobsDone != 0 || s.ETASec != 0 {
+		t.Errorf("empty snapshot: %+v", s)
+	}
+
+	p.AddJobs("cell-a", 4)
+	p.AddJobs("cell-b", 2)
+	p.AddJobs("cell-a", 2) // cumulative registration
+	for i := 0; i < 6; i++ {
+		p.JobDone("cell-a")
+	}
+	p.JobDone("cell-b")
+
+	s = p.Snapshot()
+	if s.JobsTotal != 8 || s.JobsDone != 7 {
+		t.Errorf("jobs %d/%d, want 7/8", s.JobsDone, s.JobsTotal)
+	}
+	if s.CellsTotal != 2 || s.CellsDone != 1 {
+		t.Errorf("cells %d/%d, want 1/2", s.CellsDone, s.CellsTotal)
+	}
+	if len(s.Cells) != 2 || s.Cells[0].Label != "cell-a" || s.Cells[0].Done != 6 || s.Cells[1].Total != 2 {
+		t.Errorf("cell breakdown: %+v", s.Cells)
+	}
+	if s.ETASec <= 0 {
+		t.Errorf("ETA not extrapolated: %+v", s)
+	}
+
+	p.JobDone("cell-b")
+	s = p.Snapshot()
+	if s.CellsDone != 2 || s.ETASec != 0 {
+		t.Errorf("finished snapshot: %+v", s)
+	}
+
+	line := p.String()
+	for _, want := range []string{"8/8 replications", "(100.0%)", "2/2 cells done", "ETA done"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("String() = %q, missing %q", line, want)
+		}
+	}
+}
+
+// TestProgressConcurrent exercises the tracker from many goroutines; run
+// with -race this proves the locking.
+func TestProgressConcurrent(t *testing.T) {
+	p := NewProgress()
+	const workers, jobs = 8, 50
+	p.AddJobs("cell", workers*jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < jobs; i++ {
+				p.JobDone("cell")
+				_ = p.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := p.Snapshot(); s.JobsDone != workers*jobs {
+		t.Errorf("done = %d, want %d", s.JobsDone, workers*jobs)
+	}
+}
+
+func TestProgressPublish(t *testing.T) {
+	p := NewProgress()
+	p.AddJobs("cell", 3)
+	p.JobDone("cell")
+	p.Publish("test-sweep")
+	v := expvar.Get("test-sweep")
+	if v == nil {
+		t.Fatal("expvar variable not published")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar value is not Snapshot JSON: %v", err)
+	}
+	if s.JobsTotal != 3 || s.JobsDone != 1 {
+		t.Errorf("published snapshot: %+v", s)
+	}
+}

@@ -1,11 +1,14 @@
 // Package prof wires the standard pprof machinery into the command-line
 // tools with three flags shared by every binary: -cpuprofile and
 // -memprofile write one-shot profiles for `go tool pprof`, and -pprof
-// serves the live net/http/pprof endpoints for poking at a long sweep
-// while it runs.
+// serves the live debug endpoints for poking at a long sweep while it
+// runs. The HTTP server carries both net/http/pprof (/debug/pprof/*) and
+// expvar (/debug/vars) — the latter is how cmd/experiments publishes live
+// sweep progress; Serve exposes it independently of the flag set.
 package prof
 
 import (
+	_ "expvar" // registers /debug/vars on DefaultServeMux
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +20,29 @@ import (
 	"runtime/pprof"
 )
 
+// Serve starts the debug HTTP server (pprof + expvar, via
+// http.DefaultServeMux) on addr and returns the base URL it is reachable
+// at plus a stop function that shuts the server down and unblocks any
+// in-flight connections.
+func Serve(addr string) (url string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("debug server: %v", err)
+		}
+	}()
+	stop = func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("debug server close: %v", err)
+		}
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
 // Flags holds the profiling flag values for one binary.
 type Flags struct {
 	cpu  *string
@@ -24,6 +50,7 @@ type Flags struct {
 	addr *string
 
 	cpuFile *os.File
+	srvStop func()
 }
 
 // RegisterFlags installs -cpuprofile, -memprofile and -pprof on fs (the
@@ -55,17 +82,13 @@ func (f *Flags) Start() (stop func(), err error) {
 		}
 	}
 	if *f.addr != "" {
-		ln, err := net.Listen("tcp", *f.addr)
+		url, stopSrv, err := Serve(*f.addr)
 		if err != nil {
 			f.stopCPU()
-			return nil, fmt.Errorf("pprof listener: %w", err)
+			return nil, err
 		}
-		log.Printf("pprof server on http://%s/debug/pprof/", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, nil); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
+		f.srvStop = stopSrv
+		log.Printf("pprof server on %s/debug/pprof/", url)
 	}
 	return f.stop, nil
 }
@@ -80,6 +103,10 @@ func (f *Flags) stopCPU() {
 
 func (f *Flags) stop() {
 	f.stopCPU()
+	if f.srvStop != nil {
+		f.srvStop()
+		f.srvStop = nil
+	}
 	if *f.mem != "" {
 		out, err := os.Create(*f.mem)
 		if err != nil {

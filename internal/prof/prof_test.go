@@ -1,0 +1,110 @@
+package prof
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	for _, name := range []string{"cpuprofile", "memprofile", "pprof"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	if err := fs.Parse([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out", "-pprof", "localhost:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if *f.cpu != "cpu.out" || *f.mem != "mem.out" || *f.addr != "localhost:0" {
+		t.Errorf("flag values not wired: cpu=%q mem=%q addr=%q", *f.cpu, *f.mem, *f.addr)
+	}
+}
+
+func TestStartNoop(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be safe with nothing enabled
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestServe(t *testing.T) {
+	url, stop, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(url, "http://127.0.0.1:") {
+		t.Fatalf("url = %q", url)
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: status %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", code)
+	}
+
+	stop()
+	// The listener must actually be closed: a fresh request now fails.
+	client := http.Client{Timeout: 500 * time.Millisecond}
+	if resp, err := client.Get(url + "/debug/vars"); err == nil {
+		resp.Body.Close()
+		t.Error("server still reachable after stop")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, _, err := Serve("127.0.0.1:notaport"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

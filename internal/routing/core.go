@@ -205,6 +205,15 @@ func (c *Core) Recover() {
 	}
 }
 
+// TableSize returns the current routing-table occupancy (installed
+// routes, valid or not-yet-reaped) — a read-only probe for the metrics
+// sampler.
+func (c *Core) TableSize() int { return c.table.Len() }
+
+// DupCacheLen returns the RREQ duplicate-cache occupancy — a read-only
+// probe for the metrics sampler.
+func (c *Core) DupCacheLen() int { return c.dup.Len() }
+
 // Preallocate sizes every dense per-node structure (routing-table slots,
 // duplicate-cache rings, neighbour storage) for a network of n nodes, so
 // the hot path never grows them incrementally. Growth stays lazy for

@@ -9,7 +9,6 @@ import (
 	"clnlr/internal/routing"
 	"clnlr/internal/topo"
 	"clnlr/internal/trace"
-	"clnlr/internal/traffic"
 )
 
 // Engine is a reusable simulation instance: one fully allocated network
@@ -152,43 +151,9 @@ func (e *Engine) Run(sc Scenario) (Result, error) {
 }
 
 // RunTraced is Run with an optional trace sink attached to every node's
-// routing agent (nil behaves exactly like Run).
+// routing agent (nil behaves exactly like Run). The full run body lives
+// in RunObserved (observe.go), which additionally accepts a metrics
+// collector.
 func (e *Engine) RunTraced(sc Scenario, sink trace.Sink) (Result, error) {
-	if err := sc.Validate(); err != nil {
-		return Result{}, err
-	}
-	if TestHookRun != nil {
-		TestHookRun(sc)
-	}
-	master := rng.New(sc.Seed)
-	tp, err := e.prepare(sc, master)
-	if err != nil {
-		return Result{}, err
-	}
-	if sink != nil {
-		for _, n := range e.nodes {
-			n.Agent.Env.Trace = sink
-		}
-	}
-	node.StartAll(e.nodes)
-	attachMobility(sc, e.simk, e.nodes, master)
-	attachFaults(sc, e.simk, e.nodes, master, sc.Warmup+sc.Measure)
-
-	mgr := traffic.NewManager(e.simk, e.nodes, sc.Routing.TTL, sc.Warmup)
-	flows, err := pickFlows(sc, tp, master.Derive(2000))
-	if err != nil {
-		return Result{}, err
-	}
-	flowRng := master.Derive(3000)
-	for _, f := range flows {
-		mgr.AddFlow(f, flowRng.Derive(uint64(f.ID)))
-	}
-
-	// Isolate the measurement window for cumulative counters.
-	var warm snapshot
-	e.simk.At(sc.Warmup, func() { warm = takeSnapshot(e.nodes) })
-	end := sc.Warmup + sc.Measure
-	e.simk.RunUntil(end)
-
-	return extract(sc, e.nodes, mgr, warm), nil
+	return e.RunObserved(sc, sink, nil)
 }

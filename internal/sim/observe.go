@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"clnlr/internal/des"
+	"clnlr/internal/mac"
+	"clnlr/internal/metrics"
+	"clnlr/internal/node"
+	"clnlr/internal/radio"
+	"clnlr/internal/rng"
+	"clnlr/internal/routing"
+	"clnlr/internal/trace"
+	"clnlr/internal/traffic"
+)
+
+// RunObserved is the fully instrumented run entry point: RunTraced plus
+// an optional metrics collector. Both hooks are nil-checked — a run with
+// (nil, nil) is exactly Run. The collector, when non-nil, receives
+//
+//   - a per-node time-series: every SampleInterval of simulated time a
+//     pre-scheduled DES event snapshots each node's cross-layer state
+//     (MAC queue/busy/load, routing-table and dup-cache occupancy,
+//     liveness) into preallocated series;
+//   - per-layer monotonic counters over the measurement window (radio,
+//     MAC, routing) plus fault schedule counts, folded in at run end;
+//   - the run envelope (simulated time, DES events executed, wall clock).
+//
+// Determinism: sampler handlers only read protocol state and never touch
+// an RNG, so an instrumented run produces a bit-identical Result to an
+// uninstrumented one, and the collected series/counters are themselves
+// bit-identical across the radio fast/reference paths and warm/cold
+// engines (proven by the golden tests in observe_test.go).
+func (e *Engine) RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collector) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if TestHookRun != nil {
+		TestHookRun(sc)
+	}
+	var wallStart time.Time
+	if col != nil {
+		wallStart = time.Now()
+	}
+	master := rng.New(sc.Seed)
+	tp, err := e.prepare(sc, master)
+	if err != nil {
+		return Result{}, err
+	}
+	if sink != nil {
+		for _, n := range e.nodes {
+			n.Agent.Env.Trace = sink
+		}
+	}
+	node.StartAll(e.nodes)
+	attachMobility(sc, e.simk, e.nodes, master)
+	end := sc.Warmup + sc.Measure
+	crashEvents, recoverEvents := attachFaults(sc, e.simk, e.nodes, master, end)
+	if col != nil {
+		col.Begin(len(e.nodes))
+		e.scheduleSampler(col, end)
+	}
+
+	mgr := traffic.NewManager(e.simk, e.nodes, sc.Routing.TTL, sc.Warmup)
+	flows, err := pickFlows(sc, tp, master.Derive(2000))
+	if err != nil {
+		return Result{}, err
+	}
+	flowRng := master.Derive(3000)
+	for _, f := range flows {
+		mgr.AddFlow(f, flowRng.Derive(uint64(f.ID)))
+	}
+
+	// Isolate the measurement window for cumulative counters.
+	var warm snapshot
+	var warmRadio radioCounters
+	e.simk.At(sc.Warmup, func() {
+		warm = takeSnapshot(e.nodes)
+		if col != nil {
+			warmRadio = mediumCounters(e.medium)
+		}
+	})
+	e.simk.RunUntil(end)
+
+	r := extract(sc, e.nodes, mgr, warm)
+	if col != nil {
+		e.foldCounters(col, warm, warmRadio, crashEvents, recoverEvents)
+		col.FinishRun(end, e.simk.Executed(), time.Since(wallStart))
+	}
+	return r, nil
+}
+
+// RunObserved is Run with optional trace and metrics hooks on a fresh
+// engine (both nil behaves exactly like Run).
+func RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collector) (Result, error) {
+	return NewEngine().RunObserved(sc, sink, col)
+}
+
+// scheduleSampler pre-schedules one read-only sampling event per
+// SampleInterval over [0, end] (end inclusive: RunUntil executes events
+// at exactly the horizon). Scheduling the whole train up front keeps the
+// event sequence a pure function of the scenario — no handler-dependent
+// rescheduling — matching how fault schedules are materialised.
+func (e *Engine) scheduleSampler(col *metrics.Collector, end des.Time) {
+	interval := col.SampleInterval()
+	if interval <= 0 {
+		return
+	}
+	sample := func() {
+		col.BeginTick(e.simk.Now())
+		for i, n := range e.nodes {
+			ls := n.Mac.LoadStats()
+			col.Set(i, metrics.Sample{
+				Queue:    n.Mac.QueueLen(),
+				QueueOcc: ls.QueueOcc,
+				BusyFrac: ls.BusyFrac,
+				Load:     ls.Load,
+				Routes:   n.Agent.TableSize(),
+				DupCache: n.Agent.DupCacheLen(),
+				Up:       !n.Radio.Down(),
+			})
+		}
+	}
+	for t := des.Time(0); t <= end; t += interval {
+		e.simk.At(t, sample)
+	}
+}
+
+// radioCounters snapshots the medium's validation counters (used to
+// isolate the measurement window, like the per-node warm snapshot).
+type radioCounters struct {
+	transmissions uint64
+	deliveries    uint64
+	corruptions   uint64
+	impairDrops   uint64
+}
+
+func mediumCounters(m *radio.Medium) radioCounters {
+	return radioCounters{m.Transmissions, m.Deliveries, m.Corruptions, m.ImpairDrops}
+}
+
+// foldCounters aggregates the per-layer counter deltas over the
+// measurement window across all nodes into the collector's registry.
+// Names are namespaced by layer ("mac/retries", "routing/rreq-originated",
+// "radio/transmissions", "fault/crash-events").
+func (e *Engine) foldCounters(col *metrics.Collector, warm snapshot, warmRadio radioCounters, crashEvents, recoverEvents uint64) {
+	var rc, rw routing.Counters
+	var mc, mw mac.Counters
+	for i, n := range e.nodes {
+		addRoutingCounters(&rc, n.Agent.Ctr)
+		addRoutingCounters(&rw, warm.routing[i])
+		addMacCounters(&mc, n.Mac.Ctr)
+		addMacCounters(&mw, warm.mac[i])
+	}
+
+	col.Add("routing/rreq-originated", rc.RREQOriginated-rw.RREQOriginated)
+	col.Add("routing/rreq-forwarded", rc.RREQForwarded-rw.RREQForwarded)
+	col.Add("routing/rreq-received", rc.RREQReceived-rw.RREQReceived)
+	col.Add("routing/rreq-suppressed", rc.RREQSuppressed-rw.RREQSuppressed)
+	col.Add("routing/rrep-sent", rc.RREPSent-rw.RREPSent)
+	col.Add("routing/rrep-forwarded", rc.RREPForwarded-rw.RREPForwarded)
+	col.Add("routing/rrep-received", rc.RREPReceived-rw.RREPReceived)
+	col.Add("routing/rerr-sent", rc.RERRSent-rw.RERRSent)
+	col.Add("routing/rerr-received", rc.RERRReceived-rw.RERRReceived)
+	col.Add("routing/hello-sent", rc.HelloSent-rw.HelloSent)
+	col.Add("routing/hello-heard", rc.HelloHeard-rw.HelloHeard)
+	col.Add("routing/data-originated", rc.DataOriginated-rw.DataOriginated)
+	col.Add("routing/data-forwarded", rc.DataForwarded-rw.DataForwarded)
+	col.Add("routing/data-delivered", rc.DataDelivered-rw.DataDelivered)
+	col.Add("routing/drop-no-route", rc.DropNoRoute-rw.DropNoRoute)
+	col.Add("routing/drop-ttl", rc.DropTTL-rw.DropTTL)
+	col.Add("routing/drop-buffer-full", rc.DropBufferFull-rw.DropBufferFull)
+	col.Add("routing/drop-link-fail", rc.DropLinkFail-rw.DropLinkFail)
+	col.Add("routing/drop-crashed", rc.DropCrashed-rw.DropCrashed)
+	col.Add("routing/discoveries-started", rc.DiscoveriesStarted-rw.DiscoveriesStarted)
+	col.Add("routing/discoveries-succeeded", rc.DiscoveriesSucceeded-rw.DiscoveriesSucceeded)
+	col.Add("routing/discoveries-failed", rc.DiscoveriesFailed-rw.DiscoveriesFailed)
+
+	col.Add("mac/enqueued", mc.Enqueued-mw.Enqueued)
+	col.Add("mac/dropped-queue-full", mc.DroppedQueueFull-mw.DroppedQueueFull)
+	col.Add("mac/tx-data", mc.TxData-mw.TxData)
+	col.Add("mac/tx-broadcast", mc.TxBroadcast-mw.TxBroadcast)
+	col.Add("mac/tx-ack", mc.TxAck-mw.TxAck)
+	col.Add("mac/tx-rts", mc.TxRTS-mw.TxRTS)
+	col.Add("mac/tx-cts", mc.TxCTS-mw.TxCTS)
+	col.Add("mac/retries", mc.Retries-mw.Retries)
+	col.Add("mac/dropped-retry-limit", mc.DroppedRetryLimit-mw.DroppedRetryLimit)
+	col.Add("mac/rx-delivered", mc.RxDelivered-mw.RxDelivered)
+	col.Add("mac/rx-duplicates", mc.RxDuplicates-mw.RxDuplicates)
+	col.Add("mac/rx-corrupted", mc.RxCorrupted-mw.RxCorrupted)
+	col.Add("mac/dropped-down", mc.DroppedDown-mw.DroppedDown)
+
+	now := mediumCounters(e.medium)
+	col.Add("radio/transmissions", now.transmissions-warmRadio.transmissions)
+	col.Add("radio/deliveries", now.deliveries-warmRadio.deliveries)
+	col.Add("radio/corruptions", now.corruptions-warmRadio.corruptions)
+	col.Add("radio/impair-drops", now.impairDrops-warmRadio.impairDrops)
+
+	col.Add("fault/crash-events", crashEvents)
+	col.Add("fault/recover-events", recoverEvents)
+}
+
+func addRoutingCounters(dst *routing.Counters, src routing.Counters) {
+	dst.RREQOriginated += src.RREQOriginated
+	dst.RREQForwarded += src.RREQForwarded
+	dst.RREQReceived += src.RREQReceived
+	dst.RREQSuppressed += src.RREQSuppressed
+	dst.RREPSent += src.RREPSent
+	dst.RREPForwarded += src.RREPForwarded
+	dst.RREPReceived += src.RREPReceived
+	dst.RERRSent += src.RERRSent
+	dst.RERRReceived += src.RERRReceived
+	dst.HelloSent += src.HelloSent
+	dst.HelloHeard += src.HelloHeard
+	dst.DataOriginated += src.DataOriginated
+	dst.DataForwarded += src.DataForwarded
+	dst.DataDelivered += src.DataDelivered
+	dst.DropNoRoute += src.DropNoRoute
+	dst.DropTTL += src.DropTTL
+	dst.DropBufferFull += src.DropBufferFull
+	dst.DropLinkFail += src.DropLinkFail
+	dst.DropCrashed += src.DropCrashed
+	dst.DiscoveriesStarted += src.DiscoveriesStarted
+	dst.DiscoveriesSucceeded += src.DiscoveriesSucceeded
+	dst.DiscoveriesFailed += src.DiscoveriesFailed
+}
+
+func addMacCounters(dst *mac.Counters, src mac.Counters) {
+	dst.Enqueued += src.Enqueued
+	dst.DroppedQueueFull += src.DroppedQueueFull
+	dst.TxData += src.TxData
+	dst.TxBroadcast += src.TxBroadcast
+	dst.TxAck += src.TxAck
+	dst.TxRTS += src.TxRTS
+	dst.TxCTS += src.TxCTS
+	dst.Retries += src.Retries
+	dst.DroppedRetryLimit += src.DroppedRetryLimit
+	dst.RxDelivered += src.RxDelivered
+	dst.RxDuplicates += src.RxDuplicates
+	dst.RxCorrupted += src.RxCorrupted
+	dst.DroppedDown += src.DroppedDown
+}
+
+// Fingerprint returns a stable 64-bit hash of the scenario's JSON form —
+// the identity stamp RunReports carry so results can be traced back to
+// the exact configuration that produced them.
+func (s Scenario) Fingerprint() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Scenario is a plain data struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("sim: fingerprint marshal: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// BuildReport assembles the machine-readable RunReport for one observed
+// run: scenario identity, run envelope, folded counters and the Result's
+// headline metrics.
+func BuildReport(sc Scenario, r Result, col *metrics.Collector) metrics.RunReport {
+	rep := metrics.RunReport{
+		Name:        sc.Name,
+		Scheme:      string(sc.Scheme),
+		Seed:        sc.Seed,
+		Nodes:       r.Nodes,
+		Fingerprint: sc.Fingerprint(),
+
+		SimSeconds:     col.SimTime().Seconds(),
+		WallSeconds:    col.Wall().Seconds(),
+		EventsExecuted: col.Events(),
+
+		SampleIntervalSec: col.SampleInterval().Seconds(),
+		Samples:           col.Ticks(),
+
+		Counters: col.Counters().Map(),
+		Metrics:  ResultMetrics(r),
+	}
+	if rep.WallSeconds > 0 {
+		rep.SimPerWall = rep.SimSeconds / rep.WallSeconds
+	}
+	return rep
+}
+
+// ResultMetrics flattens a Result into the name→value map RunReports
+// embed.
+func ResultMetrics(r Result) map[string]float64 {
+	return map[string]float64{
+		"sent":              float64(r.Sent),
+		"delivered":         float64(r.Delivered),
+		"pdr":               r.PDR,
+		"mean_delay_ms":     r.MeanDelaySec * 1000,
+		"p95_delay_ms":      r.DelayP95Sec * 1000,
+		"throughput_kbps":   r.ThroughputKbps,
+		"rreq_tx":           float64(r.RREQTx),
+		"control_tx":        float64(r.ControlTx),
+		"rreq_per_disc":     r.RREQPerDiscovery,
+		"norm_overhead":     r.NormOverhead,
+		"discovery_rate":    r.DiscoveryRate,
+		"forward_mean":      r.ForwardMean,
+		"forward_std":       r.ForwardStd,
+		"forward_max_ratio": r.ForwardMaxRatio,
+		"mac_queue_drops":   float64(r.MACQueueDrops),
+		"mac_retry_drops":   float64(r.MACRetryDrops),
+		"energy_mean_j":     r.EnergyMeanJ,
+		"energy_max_j":      r.EnergyMaxJ,
+		"flow_fairness":     r.FlowFairness,
+	}
+}

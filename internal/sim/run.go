@@ -120,9 +120,14 @@ func attachMobility(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.
 // DrawSchedule), so the randomness consumed never depends on event
 // interleaving — the determinism contract fault injection lives under.
 // With churn disabled this consumes nothing and schedules nothing.
-func attachFaults(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.Source, horizon des.Time) {
+//
+// It returns the number of crash and recover events falling inside the
+// measurement window [sc.Warmup, horizon] — the fault-layer counters the
+// metrics collector registers. Counting the materialised schedule keeps
+// the numbers a pure function of the seed at zero runtime cost.
+func attachFaults(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.Source, horizon des.Time) (crashEvents, recoverEvents uint64) {
 	if !sc.Faults.ChurnEnabled() {
-		return
+		return 0, 0
 	}
 	events := sc.Faults.DrawSchedule(len(nodes), horizon, master.Derive(7000))
 	for _, ev := range events {
@@ -132,7 +137,15 @@ func attachFaults(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.So
 		} else {
 			simk.At(ev.At, n.Crash)
 		}
+		if ev.At >= sc.Warmup {
+			if ev.Up {
+				recoverEvents++
+			} else {
+				crashEvents++
+			}
+		}
 	}
+	return crashEvents, recoverEvents
 }
 
 // place generates node positions per the scenario topology. Random

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -12,13 +13,17 @@ import (
 	"clnlr/internal/pkt"
 )
 
+// maxTraceLine caps a single NDJSON record; a healthy trace line is a few
+// hundred bytes, so 4 MiB only trips on corrupt or non-NDJSON input.
+const maxTraceLine = 4 << 20
+
 // ReadNDJSON parses a stream of newline-delimited trace records (the
 // format WriteNDJSON and `meshsim -trace` produce). Blank lines are
 // skipped; malformed lines abort with a line-numbered error.
 func ReadNDJSON(r io.Reader) ([]Record, error) {
 	var out []Record
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTraceLine)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -33,6 +38,10 @@ func ReadNDJSON(r io.Reader) ([]Record, error) {
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("trace: line %d exceeds the %d MiB record limit — is this really an NDJSON trace (one record per line)?: %w",
+				line+1, maxTraceLine>>20, err)
+		}
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	return out, nil

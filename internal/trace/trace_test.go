@@ -1,8 +1,10 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -117,6 +119,39 @@ func TestReadNDJSONErrors(t *testing.T) {
 	got, err := ReadNDJSON(strings.NewReader("\n\n"))
 	if err != nil || len(got) != 0 {
 		t.Fatalf("blank lines mishandled: %v %v", got, err)
+	}
+}
+
+func TestReadNDJSONLongLines(t *testing.T) {
+	// A legitimately long record (2 MiB of detail) must parse.
+	big := Record{T: 1, Node: 2, Layer: "routing", Event: "a",
+		Detail: strings.Repeat("x", 2<<20)}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatalf("2 MiB record rejected: %v", err)
+	}
+	if len(got) != 1 || len(got[0].Detail) != 2<<20 {
+		t.Fatalf("2 MiB record mangled: %d records", len(got))
+	}
+
+	// Past the cap, the error must say which line and what to do about
+	// it, not just bufio.Scanner's bare "token too long".
+	in := "{}\n" + strings.Repeat("y", maxTraceLine+1) + "\n"
+	_, err = ReadNDJSON(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error does not wrap bufio.ErrTooLong: %v", err)
+	}
+	for _, want := range []string{"line 2", "4 MiB", "NDJSON"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 }
 
