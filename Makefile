@@ -8,13 +8,23 @@ GO ?= go
 # the runner-level replication sweep.
 BENCH_GATE := BenchmarkSimulatorThroughput|BenchmarkReplicationSweep
 
-.PHONY: verify build test race bench-smoke bench bench-compare bench-baseline fuzz
+.PHONY: verify build test race bench-smoke bench bench-compare bench-baseline fuzz lint
 
 verify: build test race bench-smoke
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is optional locally (skipped with
+# a note when absent); CI installs it, so findings still gate merges.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -25,13 +35,15 @@ race:
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x .
 
-# Coverage-guided fuzzing of the wire codec (go test allows one -fuzz
-# pattern per invocation, hence the two runs). FUZZTIME=5m for a deep run.
+# Coverage-guided fuzzing: the wire codec and the DES differential queue
+# oracle (go test allows one -fuzz pattern per invocation, hence one run
+# per target). FUZZTIME=5m for a deep run.
 FUZZTIME ?= 10s
 
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/pkt
 	$(GO) test -run NONE -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/pkt
+	$(GO) test -run NONE -fuzz FuzzQueueDifferential -fuzztime $(FUZZTIME) ./internal/des
 
 # Full throughput numbers (compare against BENCH_PR1.json / BENCH_PR2.json).
 bench:

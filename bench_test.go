@@ -8,11 +8,13 @@ package clnlr
 // output doubles as a results sketch.
 
 import (
+	"fmt"
 	"testing"
 
 	"clnlr/internal/des"
 	"clnlr/internal/experiments"
 	"clnlr/internal/metrics"
+	"clnlr/internal/rng"
 	"clnlr/internal/sim"
 )
 
@@ -238,6 +240,19 @@ func BenchmarkSimulatorThroughputMetrics(b *testing.B) {
 	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
 }
 
+// BenchmarkSimulatorThroughputReferenceQueue is BenchmarkSimulatorThroughput
+// with the pre-calendar binary-heap event list (Scenario.ReferenceQueue).
+// Running it back-to-back with the default benchmark gives a same-process
+// A/B of the two schedulers on the full simulator, immune to machine-speed
+// drift between separate runs.
+func BenchmarkSimulatorThroughputReferenceQueue(b *testing.B) {
+	sc := sim.DefaultScenario()
+	sc.Measure = 30 * des.Second
+	sc.SessionTime = 10 * des.Second
+	sc.ReferenceQueue = true
+	benchThroughput(b, sc)
+}
+
 // BenchmarkSimulatorThroughputLargeN scales the deployment to a 15×15 grid
 // (225 nodes) at Table R-1 node spacing, the regime where the O(N) portions
 // of the hot path (receiver scans, gain cache) dominate.
@@ -250,6 +265,80 @@ func BenchmarkSimulatorThroughputLargeN(b *testing.B) {
 	sc.SessionTime = 10 * des.Second
 	benchThroughput(b, sc)
 }
+
+// BenchmarkDESChurn measures the DES kernel alone in the hold model: a
+// steady population of pending events where every firing schedules its
+// replacement. Sub-benchmarks sweep the population size to expose how the
+// event list's cost scales with pending count — the regime where the
+// calendar queue's O(1) hold operation beats the binary heap's O(log n).
+func BenchmarkDESChurn(b *testing.B) {
+	for _, pending := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("pending=%d", pending), func(b *testing.B) {
+			b.ReportAllocs()
+			s := des.NewSim()
+			src := rng.New(1)
+			var h churnHandler
+			h.s = s
+			h.src = src
+			for i := 0; i < pending; i++ {
+				s.ScheduleCall(des.Time(src.Intn(int(des.Millisecond))), &h, 0, 0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fire one event (which reschedules itself) per iteration.
+				h.budget = 1
+				s.RunUntil(des.MaxTime)
+				if h.budget != 0 {
+					b.Fatal("queue drained")
+				}
+			}
+		})
+	}
+}
+
+// churnHandler reschedules itself with a random delay on every firing and
+// stops the sim once the per-iteration budget is spent.
+type churnHandler struct {
+	s      *des.Sim
+	src    *rng.Source
+	budget int
+}
+
+func (h *churnHandler) HandleEvent(int32, uint32) {
+	h.s.ScheduleCall(des.Time(h.src.Intn(int(des.Millisecond))+1), h, 0, 0)
+	h.budget--
+	if h.budget == 0 {
+		h.s.Stop()
+	}
+}
+
+// BenchmarkDESSchedule compares the two scheduling APIs on an otherwise
+// idle kernel: the closure path allocates a func value per event, the
+// typed path reuses pooled nodes and stays allocation-free.
+func BenchmarkDESSchedule(b *testing.B) {
+	b.Run("closure", func(b *testing.B) {
+		b.ReportAllocs()
+		s := des.NewSim()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			s.Schedule(des.Microsecond, func() { n++ })
+			s.RunUntil(s.Now() + des.Millisecond)
+		}
+	})
+	b.Run("typed", func(b *testing.B) {
+		b.ReportAllocs()
+		s := des.NewSim()
+		var h countHandler
+		for i := 0; i < b.N; i++ {
+			s.ScheduleCall(des.Microsecond, &h, 0, 0)
+			s.RunUntil(s.Now() + des.Millisecond)
+		}
+	})
+}
+
+type countHandler struct{ n int }
+
+func (h *countHandler) HandleEvent(int32, uint32) { h.n++ }
 
 // BenchmarkReplicationSweep measures the runner-level path the experiment
 // suite actually takes: one iteration fans a replication set out across the

@@ -1,0 +1,266 @@
+package des
+
+// calQueue is the production event list: a calendar queue (Brown 1988) —
+// a sliding window of time-sliced buckets plus an overflow tier for
+// events beyond the window. Bucket i holds the events whose timestamp
+// falls in [base+i·width, base+(i+1)·width); everything at or past
+// base+nb·width waits in overflow. Inside a bucket (and inside overflow)
+// events fall back to binary-heap order under the shared (time, sequence)
+// comparator, so the structure never depends on bucket granularity for
+// correctness — the comparator alone defines the total order, which is
+// what makes the calendar queue bit-identical to the reference heap.
+//
+// In the hold model (pop-min, handler pushes a few near-future events —
+// exactly a DES run) the front bucket almost always holds O(1) events, so
+// peek/pop/push are O(1) amortised versus the heap's O(log n) sifts.
+//
+// Laziness, in three places:
+//   - init: the first push sizes the calendar; an empty queue owns nothing.
+//   - rebase: a push while empty just slides the window to the new event
+//     (no rebuild); a push before base — rare, only after the window
+//     advanced past a later-scheduled earlier time — rebuilds once.
+//   - resize: only when count outgrows calGrowthFactor×buckets does the
+//     calendar rebuild, doubling the bucket count and re-deriving width
+//     from the observed average event gap.
+type calQueue struct {
+	width Time // bucket time slice; 0 until first push
+	base  Time // window start (multiple of width)
+	cur   int  // first possibly non-empty bucket; peek advances, push rewinds
+
+	buckets  [][]*eventNode // per-slice min-heaps over eventLess
+	overflow []*eventNode   // min-heap of events at/past the window end
+	count    int            // total queued events across both tiers
+
+	scratch []*eventNode // reusable staging for rebuilds
+}
+
+const (
+	// calInitBuckets/calInitWidth size the first calendar: 256 buckets of
+	// 256 µs cover a 65 ms window — a few airtime slots deep at 2 Mb/s,
+	// which is where the MAC/radio event mass lives.
+	calInitBuckets = 256
+	calInitWidth   = 256 * Microsecond
+
+	// calMaxBuckets bounds growth (64k buckets ≈ 512 KiB of slice
+	// headers); calGrowthFactor is the average bucket population that
+	// triggers a resize.
+	calMaxBuckets   = 1 << 16
+	calGrowthFactor = 4
+
+	// Width clamps: below a microsecond the window covers too little
+	// simulated time to be useful; above a second the buckets stop
+	// discriminating (tickers and timers cluster well under that).
+	calMinWidth = Microsecond
+	calMaxWidth = Second
+)
+
+// bucketIdx returns the window-relative bucket index of t, which may be
+// negative (before base) or ≥ len(buckets) (overflow). Computed in int64
+// to stay exact for timestamps near MaxTime.
+func (q *calQueue) bucketIdx(t Time) int64 {
+	return int64(t-q.base) / int64(q.width)
+}
+
+// push inserts n, growing the calendar when the event population has
+// outgrown it.
+func (q *calQueue) push(n *eventNode) {
+	if q.width == 0 {
+		q.width = calInitWidth
+		q.buckets = make([][]*eventNode, calInitBuckets)
+	}
+	if q.count == 0 {
+		// Empty queue: slide the window so n lands in bucket 0. This is
+		// the common rebase — it costs nothing and keeps the window glued
+		// to the simulation clock.
+		q.base = n.at - n.at%q.width
+		q.cur = 0
+	} else if n.at < q.base {
+		// An event earlier than the window start (the window advanced past
+		// a time that a later push now targets). Rebuild once around it.
+		q.rebuild(len(q.buckets), q.width, n.at)
+	}
+	q.place(n)
+	q.count++
+	if q.count > calGrowthFactor*len(q.buckets) && len(q.buckets) < calMaxBuckets {
+		q.grow()
+	}
+}
+
+// place files n into its bucket or the overflow tier; n.at ≥ q.base.
+func (q *calQueue) place(n *eventNode) {
+	idx := q.bucketIdx(n.at)
+	if idx >= int64(len(q.buckets)) {
+		heapPush(&q.overflow, n)
+		return
+	}
+	i := int(idx)
+	heapPush(&q.buckets[i], n)
+	if i < q.cur {
+		q.cur = i
+	}
+}
+
+// peek returns the earliest event without removing it (nil when empty),
+// advancing the window over empty stretches as a side effect.
+func (q *calQueue) peek() *eventNode {
+	if q.count == 0 {
+		return nil
+	}
+	for {
+		for i := q.cur; i < len(q.buckets); i++ {
+			if len(q.buckets[i]) > 0 {
+				q.cur = i
+				return q.buckets[i][0]
+			}
+		}
+		// Every bucket is empty, so count > 0 means the remaining events
+		// all sit in overflow: advance the window to the overflow minimum
+		// and pull the now-covered events in. The minimum itself always
+		// lands in bucket 0, so the outer loop terminates next pass.
+		q.advance()
+	}
+}
+
+// pop removes the event peek returns; the queue must be non-empty.
+func (q *calQueue) pop() *eventNode {
+	n := q.peek()
+	heapPop(&q.buckets[q.cur])
+	q.count--
+	return n
+}
+
+// advance slides the window to start at the overflow minimum and migrates
+// every overflow event that the new window covers. If most of the
+// population still does not fit afterwards, the bucket width is too
+// narrow for the live event spread (the timer-dominated regime: tickers
+// seconds apart against a window sized for microsecond MAC events) and
+// the calendar retunes — otherwise every window drain would pay overflow
+// heap churn plus a full empty-bucket scan, which is exactly the
+// pathology the calendar exists to avoid.
+func (q *calQueue) advance() {
+	min := q.overflow[0].at
+	q.base = min - min%q.width
+	q.cur = 0
+	nb := int64(len(q.buckets))
+	for len(q.overflow) > 0 && q.bucketIdx(q.overflow[0].at) < nb {
+		n := heapPop(&q.overflow)
+		idx := int(q.bucketIdx(n.at))
+		heapPush(&q.buckets[idx], n)
+	}
+	if len(q.overflow) > q.count/2 {
+		q.retune(min)
+	}
+}
+
+// derivedWidth aims the bucket width at the population's average
+// inter-event gap: a window of nb buckets then spans about nb events.
+func (q *calQueue) derivedWidth(lo, hi Time) Time {
+	width := Time(int64(hi-lo)/int64(q.count)) + 1
+	if width < calMinWidth {
+		width = calMinWidth
+	}
+	if width > calMaxWidth {
+		width = calMaxWidth
+	}
+	return width
+}
+
+// retune re-derives the width from the live span, rebuilding only when
+// the answer differs from the current width by at least 2× — the
+// hysteresis keeps a borderline population from rebuilding on every
+// window advance.
+func (q *calQueue) retune(start Time) {
+	lo, hi := q.minMax()
+	width := q.derivedWidth(lo, hi)
+	if width < 2*q.width && q.width < 2*width {
+		return
+	}
+	q.rebuild(len(q.buckets), width, start)
+}
+
+// grow doubles the bucket count and re-derives the bucket width from the
+// observed span so the window keeps covering roughly the queued
+// population.
+func (q *calQueue) grow() {
+	nb := len(q.buckets) * 2
+	if nb > calMaxBuckets {
+		nb = calMaxBuckets
+	}
+	lo, hi := q.minMax()
+	q.rebuild(nb, q.derivedWidth(lo, hi), lo)
+}
+
+// minMax scans every queued event for the earliest and latest timestamps.
+// Only called on resize, which amortises to O(1) per push.
+func (q *calQueue) minMax() (lo, hi Time) {
+	lo, hi = maxTime, 0
+	scan := func(ns []*eventNode) {
+		for _, n := range ns {
+			if n.at < lo {
+				lo = n.at
+			}
+			if n.at > hi {
+				hi = n.at
+			}
+		}
+	}
+	for _, b := range q.buckets {
+		scan(b)
+	}
+	scan(q.overflow)
+	return lo, hi
+}
+
+// rebuild redistributes every queued event into a calendar of nb buckets
+// of the given width, with the window starting at or before start.
+func (q *calQueue) rebuild(nb int, width Time, start Time) {
+	q.scratch = q.scratch[:0]
+	for i, b := range q.buckets {
+		q.scratch = append(q.scratch, b...)
+		for j := range b {
+			b[j] = nil
+		}
+		q.buckets[i] = b[:0]
+	}
+	q.scratch = append(q.scratch, q.overflow...)
+	for i := range q.overflow {
+		q.overflow[i] = nil
+	}
+	q.overflow = q.overflow[:0]
+
+	if nb > len(q.buckets) {
+		q.buckets = append(q.buckets, make([][]*eventNode, nb-len(q.buckets))...)
+	}
+	q.width = width
+	q.base = start - start%width
+	q.cur = 0
+	for _, n := range q.scratch {
+		q.place(n)
+	}
+	for i := range q.scratch {
+		q.scratch[i] = nil
+	}
+	q.scratch = q.scratch[:0]
+}
+
+// drain recycles every queued event and empties the queue, keeping the
+// learned calendar geometry and bucket capacity warm for the next run.
+// The retained layout cannot perturb determinism: execution order is
+// defined by the (time, sequence) comparator alone.
+func (q *calQueue) drain(recycle func(*eventNode)) {
+	for i, b := range q.buckets {
+		for j, n := range b {
+			recycle(n)
+			b[j] = nil
+		}
+		q.buckets[i] = b[:0]
+	}
+	for i, n := range q.overflow {
+		recycle(n)
+		q.overflow[i] = nil
+	}
+	q.overflow = q.overflow[:0]
+	q.count = 0
+	q.cur = 0
+	q.base = 0
+}

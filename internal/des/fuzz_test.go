@@ -1,0 +1,120 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+
+	"clnlr/internal/rng"
+)
+
+// queueScript interprets a byte string as a schedule/cancel/run/reset
+// program and executes it against one Sim, returning the exact firing log
+// ("<event-serial>@<time>" per firing). Running the same script against
+// the calendar queue and the reference heap must produce identical logs —
+// the executable form of the determinism contract.
+func queueScript(data []byte, ref bool) []string {
+	s := NewSim()
+	s.SetReference(ref)
+	var (
+		log    []string
+		events []Event
+		serial int
+	)
+	h := &funcHandler{}
+	fire := func(id int) func() {
+		return func() { log = append(log, fmt.Sprintf("%d@%d", id, int64(s.Now()))) }
+	}
+	i := 0
+	next := func() int {
+		if i >= len(data) {
+			return -1
+		}
+		b := int(data[i])
+		i++
+		return b
+	}
+	for {
+		op := next()
+		if op < 0 {
+			break
+		}
+		switch op % 6 {
+		case 0, 1: // closure event; delay spans bucket, window and overflow scales
+			d := Time(next()+1) * Time(1<<(uint(next()+1)%20)) * Microsecond
+			events = append(events, s.Schedule(d, fire(serial)))
+			serial++
+		case 2: // typed event (shares the closure log via funcHandler)
+			d := Time(next()+1) * Millisecond
+			id := serial
+			serial++
+			h2 := &funcHandler{fn: fire(id)}
+			events = append(events, s.ScheduleCall(d, h2, int32(id), 0))
+		case 3: // cancel an arbitrary outstanding handle (stale ones no-op)
+			if v, n := next(), len(events); v >= 0 && n > 0 {
+				events[v%n].Cancel()
+			}
+		case 4: // run forward a bounded slice of time
+			s.RunUntil(s.Now() + Time(next()+1)*Millisecond)
+			log = append(log, fmt.Sprintf("t=%d", int64(s.Now())))
+		case 5: // occasionally reset the world
+			if next()%8 == 0 {
+				s.Reset()
+				events = events[:0]
+				log = append(log, "reset")
+			}
+		}
+	}
+	s.Run()
+	log = append(log, fmt.Sprintf("end=%d pending=%d exec=%d", int64(s.Now()), s.Pending(), s.Executed()))
+	_ = h
+	return log
+}
+
+func diffLogs(t *testing.T, data []byte) {
+	t.Helper()
+	cal := queueScript(data, false)
+	heap := queueScript(data, true)
+	if len(cal) != len(heap) {
+		t.Fatalf("log lengths diverged: calendar %d vs heap %d\ncal:  %v\nheap: %v", len(cal), len(heap), cal, heap)
+	}
+	for i := range cal {
+		if cal[i] != heap[i] {
+			t.Fatalf("firing order diverged at %d: calendar %q vs heap %q", i, cal[i], heap[i])
+		}
+	}
+}
+
+// FuzzQueueDifferential feeds random op scripts to both event-list
+// implementations and requires bit-identical firing logs.
+func FuzzQueueDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 3, 1, 200, 15, 4, 50})
+	f.Add([]byte{2, 1, 2, 1, 2, 1, 3, 0, 4, 255, 5, 0})
+	src := rng.New(2024)
+	long := make([]byte, 512)
+	for i := range long {
+		long[i] = byte(src.Intn(256))
+	}
+	f.Add(long)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		diffLogs(t, data)
+	})
+}
+
+// TestQueueDifferentialProperty is the always-on slice of the fuzz target:
+// seeded random scripts, so `go test` exercises the differential contract
+// without the fuzzing engine.
+func TestQueueDifferentialProperty(t *testing.T) {
+	src := rng.New(7)
+	for round := 0; round < 200; round++ {
+		n := src.Intn(300)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(src.Intn(256))
+		}
+		diffLogs(t, data)
+	}
+}

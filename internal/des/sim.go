@@ -1,18 +1,34 @@
 // Package des implements the discrete-event simulation kernel that drives
 // every experiment in this repository.
 //
-// The kernel is a classic event-list design: a binary heap of pending
-// events ordered by (time, insertion sequence). The sequence number makes
-// simultaneous events execute in FIFO order of scheduling, which — together
-// with the deterministic RNG streams in internal/rng — makes whole runs
-// bit-reproducible.
+// The kernel is an event-list design with two interchangeable orderings:
+// the production calendar queue (calqueue.go) — time-sliced buckets with an
+// overflow tier, O(1) amortised in the hold model — and a retained binary
+// min-heap reference path (SetReference), kept for differential validation
+// exactly like the radio medium's reference scan. Both order events by
+// (time, insertion sequence): the sequence number makes simultaneous events
+// execute in FIFO order of scheduling, which — together with the
+// deterministic RNG streams in internal/rng — makes whole runs
+// bit-reproducible. The total order is defined by the comparator alone, so
+// the two queues are bit-identical by construction and the fuzz harness
+// (fuzz_test.go) proves it over arbitrary operation interleavings.
+//
+// Events come in two flavours. The closure form (Schedule/At) takes a
+// func() and is right for cold call sites; a closure that captures state
+// allocates at every call. The typed form (ScheduleCall/AtCall) carries a
+// Handler interface plus a small inline payload (op, arg) in the pooled
+// event node, so the per-packet hot paths — radio airtime completions, MAC
+// timers, routing RREQ jitter — schedule without allocating at all.
 //
 // Event storage is pooled: the node backing a fired (or cancelled and
 // reaped) event returns to a per-Sim free list and is reused by later
-// Schedule/At calls, so the steady-state event churn of a long run does
-// not allocate. Handles returned to callers are small values carrying a
-// generation stamp, which makes operations on a handle whose event has
-// already completed safe no-ops even after the node has been reused.
+// schedule calls, so the steady-state event churn of a long run does not
+// allocate. The free list is capped (SetFreeListCap) so a bursty discovery
+// storm cannot pin its peak pool for the rest of a warm sweep; nodes
+// recycled beyond the cap are dropped to the garbage collector. Handles
+// returned to callers are small values carrying a generation stamp, which
+// makes operations on a handle whose event has already completed safe
+// no-ops even after the node has been reused.
 //
 // A single Sim is strictly single-goroutine: handlers run inline from Run
 // and may freely schedule or cancel further events. Parallelism in this
@@ -21,13 +37,29 @@
 // locks and atomic operations.
 package des
 
+// Handler is the typed-event callback interface. A component implements it
+// once and receives every typed event scheduled against it through
+// ScheduleCall/AtCall; op discriminates the event kind within the handler
+// and arg carries a small payload (a node ID, a pool slot) — both are
+// opaque to the kernel. Typed events exist because a capturing closure
+// allocates at every Schedule call site; the typed form stores its payload
+// inline in the pooled event node instead.
+type Handler interface {
+	HandleEvent(op int32, arg uint32)
+}
+
 // eventNode is the pooled storage behind an Event handle. gen increments
-// each time the node is recycled, invalidating outstanding handles.
+// each time the node is recycled, invalidating outstanding handles. A node
+// carries either a closure (fn != nil) or a typed event (h != nil), never
+// both.
 type eventNode struct {
 	at       Time
 	seq      uint64
 	gen      uint64
 	fn       func()
+	h        Handler
+	op       int32
+	arg      uint32
 	canceled bool
 	fired    bool
 }
@@ -80,30 +112,101 @@ func (e Event) Fired() bool {
 
 const maxTime = Time(int64(^uint64(0) >> 1))
 
+// MaxTime is the largest representable instant — the horizon Run uses.
+// Useful to callers that want RunUntil's clamping contract with an
+// effectively unbounded horizon.
+const MaxTime = maxTime
+
+// DefaultFreeListCap bounds the event-node free list unless overridden by
+// SetFreeListCap. At ~64 bytes per node this pins at most ~1 MiB of
+// recycled nodes per Sim, while still absorbing the steady-state churn of
+// the largest benchmark scenarios without allocation.
+const DefaultFreeListCap = 16384
+
 // Sim is a discrete-event simulation instance.
 type Sim struct {
 	now      Time
 	seq      uint64
-	events   []*eventNode // binary min-heap on (at, seq)
-	free     []*eventNode // recycled nodes
 	stopped  bool
 	executed uint64
+
+	// reference selects the retained binary-heap event list; the calendar
+	// queue is the production path.
+	reference bool
+	heap      []*eventNode // reference binary min-heap on (at, seq)
+	cal       calQueue     // production calendar queue
+
+	free      []*eventNode // recycled nodes, capped at freeCap
+	freeCap   int
+	freeDrops uint64 // nodes dropped to GC because the free list was full
+	pendingHW int    // peak Pending() since construction/Reset
 }
 
-// NewSim returns an empty simulation positioned at time zero.
+// NewSim returns an empty simulation positioned at time zero, using the
+// calendar-queue event list.
 func NewSim() *Sim {
-	return &Sim{events: make([]*eventNode, 0, 1024)}
+	return &Sim{freeCap: DefaultFreeListCap}
 }
+
+// SetReference toggles the retained binary-heap event list (true) against
+// the production calendar queue (false). Both produce bit-identical
+// execution orders — the heap exists as the validation baseline for
+// differential tests, mirroring radio.Medium.SetReference. Switching is
+// only allowed while the queue is empty.
+func (s *Sim) SetReference(on bool) {
+	if on == s.reference {
+		return
+	}
+	if s.Pending() != 0 {
+		panic("des: SetReference with pending events")
+	}
+	s.reference = on
+}
+
+// Reference reports whether the reference heap event list is active.
+func (s *Sim) Reference() bool { return s.reference }
 
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
 // Pending returns the number of events still queued (including events that
 // were cancelled but not yet reaped).
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int {
+	if s.reference {
+		return len(s.heap)
+	}
+	return s.cal.count
+}
 
 // Executed returns the total number of events that have fired.
 func (s *Sim) Executed() uint64 { return s.executed }
+
+// PendingHighWater returns the peak Pending() observed since construction
+// or the last Reset — the sizing signal for the event-node pool.
+func (s *Sim) PendingHighWater() int { return s.pendingHW }
+
+// FreeListLen returns the current length of the event-node free list.
+func (s *Sim) FreeListLen() int { return len(s.free) }
+
+// FreeListDrops returns how many recycled nodes were dropped to the
+// garbage collector because the free list was at capacity.
+func (s *Sim) FreeListDrops() uint64 { return s.freeDrops }
+
+// SetFreeListCap bounds the event-node free list to n recycled nodes
+// (excess is dropped to the garbage collector), immediately trimming a
+// longer list. n < 0 restores DefaultFreeListCap; n == 0 disables pooling.
+func (s *Sim) SetFreeListCap(n int) {
+	if n < 0 {
+		n = DefaultFreeListCap
+	}
+	s.freeCap = n
+	if len(s.free) > n {
+		for i := n; i < len(s.free); i++ {
+			s.free[i] = nil
+		}
+		s.free = s.free[:n]
+	}
+}
 
 // Schedule queues fn to run delay after the current time and returns a
 // handle that can cancel it. A negative delay is treated as zero (the
@@ -122,6 +225,39 @@ func (s *Sim) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("des: At called with nil handler")
 	}
+	n, t := s.alloc(t)
+	n.fn = fn
+	s.qpush(n)
+	return Event{n: n, gen: n.gen, at: t}
+}
+
+// ScheduleCall queues a typed event for h to run delay after the current
+// time — the zero-allocation form of Schedule for hot call sites. op and
+// arg are passed through to h.HandleEvent verbatim. A negative delay is
+// treated as zero.
+func (s *Sim) ScheduleCall(delay Time, h Handler, op int32, arg uint32) Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.AtCall(s.now+delay, h, op, arg)
+}
+
+// AtCall queues a typed event for h at absolute time t (clamped to "now"
+// like At). Closure and typed events share one total order: a typed event
+// scheduled after a closure for the same instant fires after it.
+func (s *Sim) AtCall(t Time, h Handler, op int32, arg uint32) Event {
+	if h == nil {
+		panic("des: AtCall called with nil handler")
+	}
+	n, t := s.alloc(t)
+	n.h, n.op, n.arg = h, op, arg
+	s.qpush(n)
+	return Event{n: n, gen: n.gen, at: t}
+}
+
+// alloc takes a pooled node (or allocates one), stamps it with the clamped
+// time and the next sequence number, and returns both.
+func (s *Sim) alloc(t Time) (*eventNode, Time) {
 	if t < s.now {
 		t = s.now
 	}
@@ -133,79 +269,144 @@ func (s *Sim) At(t Time, fn func()) Event {
 	} else {
 		n = &eventNode{}
 	}
-	n.at, n.seq, n.fn = t, s.seq, fn
+	n.at, n.seq = t, s.seq
 	s.seq++
-	s.push(n)
-	return Event{n: n, gen: n.gen, at: t}
+	return n, t
 }
 
 // recycle invalidates outstanding handles to n and returns its storage to
-// the free list.
+// the free list (or drops it when the list is at capacity).
 func (s *Sim) recycle(n *eventNode) {
 	n.gen++
 	n.fn = nil
+	n.h = nil
 	n.canceled = false
 	n.fired = false
-	s.free = append(s.free, n)
+	if len(s.free) < s.freeCap {
+		s.free = append(s.free, n)
+	} else {
+		s.freeDrops++
+	}
 }
 
 // Stop makes Run return after the currently executing handler finishes.
 func (s *Sim) Stop() { s.stopped = true }
 
 // Reset returns the simulation to time zero with an empty event queue,
-// keeping the pooled event storage and heap capacity warm. Every pending
+// keeping the pooled event storage and queue capacity warm. Every pending
 // event is discarded and every outstanding Event handle — fired, pending
 // or cancelled — goes stale, so state machines holding handles across a
 // Reset observe only safe no-ops. Reset is the foundation of warm
 // replication reuse: a reset Sim schedules events with the same
 // (time, sequence) ordering a fresh NewSim would, so reruns are
-// bit-identical to cold runs.
+// bit-identical to cold runs (the calendar queue's learned bucket layout
+// survives, but layout never affects the execution order — only the
+// (time, sequence) comparator does).
 func (s *Sim) Reset() {
-	for _, n := range s.events {
-		s.recycle(n)
+	if s.reference {
+		for i, n := range s.heap {
+			s.recycle(n)
+			s.heap[i] = nil
+		}
+		s.heap = s.heap[:0]
+	} else {
+		s.cal.drain(s.recycle)
 	}
-	s.events = s.events[:0]
 	s.now = 0
 	s.seq = 0
 	s.stopped = false
 	s.executed = 0
+	s.pendingHW = 0
 }
 
 // Run executes events in order until the queue is empty or Stop is called.
-func (s *Sim) Run() { s.RunUntil(maxTime) }
+// The clock stays at the last executed event's time (use RunUntil for the
+// clamp-to-horizon contract).
+func (s *Sim) Run() { s.run(maxTime, false) }
 
-// RunUntil executes events in order until the queue is empty, Stop is
-// called, or the next event is later than horizon. If the run reaches the
-// horizon (either because the next event lies beyond it or the queue
-// drained first), the clock is advanced to exactly horizon.
-func (s *Sim) RunUntil(horizon Time) {
+// RunUntil executes events in order until every event at or before horizon
+// has fired, or Stop is called. The contract is uniform for every horizon,
+// including MaxTime: unless Stop intervened, the clock reads exactly
+// horizon on return — whether later events remain queued, the queue
+// drained before the horizon, or it was empty to begin with. After Stop
+// the clock stays at the stopping handler's time and no clamping occurs.
+func (s *Sim) RunUntil(horizon Time) { s.run(horizon, true) }
+
+func (s *Sim) run(horizon Time, clamp bool) {
 	s.stopped = false
-	for !s.stopped && len(s.events) > 0 {
-		next := s.events[0]
+	for !s.stopped {
+		next := s.qpeek()
+		if next == nil {
+			break
+		}
 		if next.at > horizon {
 			s.now = horizon
 			return
 		}
-		s.pop()
+		s.qpop()
 		if next.canceled {
 			s.recycle(next)
 			continue
 		}
 		s.now = next.at
-		fn := next.fn
+		fn, h, op, arg := next.fn, next.h, next.op, next.arg
 		next.fired = true
 		s.recycle(next)
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			h.HandleEvent(op, arg)
+		}
 		s.executed++
 	}
-	if len(s.events) == 0 && s.now < horizon && horizon != maxTime {
+	if clamp && !s.stopped && s.now < horizon {
 		s.now = horizon
 	}
 }
 
-// --- event heap (inlined binary heap; grows in place, no interface hops) ---
+// --- event-list dispatch (reference heap vs calendar queue) ---
 
-// less orders events by (time, insertion sequence).
+func (s *Sim) qpush(n *eventNode) {
+	if s.reference {
+		heapPush(&s.heap, n)
+		if len(s.heap) > s.pendingHW {
+			s.pendingHW = len(s.heap)
+		}
+		return
+	}
+	s.cal.push(n)
+	if s.cal.count > s.pendingHW {
+		s.pendingHW = s.cal.count
+	}
+}
+
+// qpeek returns the next event without removing it (nil when empty).
+func (s *Sim) qpeek() *eventNode {
+	if s.reference {
+		if len(s.heap) == 0 {
+			return nil
+		}
+		return s.heap[0]
+	}
+	return s.cal.peek()
+}
+
+// qpop removes the event qpeek returned.
+func (s *Sim) qpop() {
+	if s.reference {
+		heapPop(&s.heap)
+		return
+	}
+	s.cal.pop()
+}
+
+// --- shared (time, sequence) min-heap primitives ---
+//
+// Both the reference event list and the calendar queue's bucket/overflow
+// tiers are binary min-heaps over these helpers, so the comparator — and
+// with it the execution order — is defined in exactly one place.
+
+// eventLess orders events by (time, insertion sequence).
 func eventLess(a, b *eventNode) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -213,8 +414,9 @@ func eventLess(a, b *eventNode) bool {
 	return a.seq < b.seq
 }
 
-func (s *Sim) push(n *eventNode) {
-	h := append(s.events, n)
+// heapPush inserts n into the heap.
+func heapPush(hp *[]*eventNode, n *eventNode) {
+	h := append(*hp, n)
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -224,12 +426,14 @@ func (s *Sim) push(n *eventNode) {
 		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
-	s.events = h
+	*hp = h
 }
 
-// pop removes the minimum (s.events[0]) from the heap.
-func (s *Sim) pop() {
-	h := s.events
+// heapPop removes and returns the minimum (h[0]); the heap must be
+// non-empty.
+func heapPop(hp *[]*eventNode) *eventNode {
+	h := *hp
+	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = nil
@@ -250,5 +454,6 @@ func (s *Sim) pop() {
 		h[i], h[j] = h[j], h[i]
 		i = j
 	}
-	s.events = h
+	*hp = h
+	return top
 }

@@ -2,13 +2,14 @@ package des
 
 // Ticker repeatedly invokes a handler at a fixed period, with an optional
 // per-tick jitter supplied by the caller. It is the building block for
-// HELLO beacons and constant-bit-rate sources.
+// HELLO beacons and constant-bit-rate sources. Rescheduling rides the
+// typed-event path (the Ticker is its own Handler), so a running ticker
+// never allocates.
 type Ticker struct {
 	sim     *Sim
 	period  Time
 	jitter  func() Time // extra offset added to each tick; may be nil
 	fn      func()
-	tickFn  func() // t.tick bound once so rescheduling does not allocate
 	ev      Event
 	stopped bool
 }
@@ -20,9 +21,7 @@ func NewTicker(sim *Sim, period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic("des: NewTicker with non-positive period")
 	}
-	t := &Ticker{sim: sim, period: period, fn: fn}
-	t.tickFn = t.tick
-	return t
+	return &Ticker{sim: sim, period: period, fn: fn}
 }
 
 // WithJitter installs a jitter function whose result is added to each
@@ -53,10 +52,11 @@ func (t *Ticker) schedule(delay Time) {
 	if delay < 0 {
 		delay = 0
 	}
-	t.ev = t.sim.Schedule(delay, t.tickFn)
+	t.ev = t.sim.ScheduleCall(delay, t, 0, 0)
 }
 
-func (t *Ticker) tick() {
+// HandleEvent fires one tick and reschedules the next.
+func (t *Ticker) HandleEvent(int32, uint32) {
 	if t.stopped {
 		return
 	}

@@ -56,6 +56,70 @@ type outgoing struct {
 	retries int
 }
 
+// Typed DES event ops for the recurring DCF callbacks. The MAC is its own
+// des.Handler, so timer scheduling never allocates; the ops that need a
+// peer (opSendAck, opSendCts) carry the destination in the event arg.
+const (
+	opNavExpire int32 = iota
+	opDeferDone
+	opBackoffDone
+	opAckTimeout
+	opCtsTimeout
+	opSendData
+	opSendAck
+	opSendCts
+)
+
+// frameFreeCap bounds the per-MAC frame pool: the steady working set is
+// the interface queue plus a frame in service plus one control response,
+// so a burst beyond this is returned to the garbage collector.
+const frameFreeCap = 64
+
+// HandleEvent dispatches the MAC's typed DES events.
+func (m *Mac) HandleEvent(op int32, arg uint32) {
+	switch op {
+	case opNavExpire:
+		m.onNavExpire()
+	case opDeferDone:
+		m.onDeferDone()
+	case opBackoffDone:
+		m.onBackoffDone()
+	case opAckTimeout:
+		m.onAckTimeout()
+	case opCtsTimeout:
+		m.onCtsTimeout()
+	case opSendData:
+		m.sendCurData()
+	case opSendAck:
+		m.sendAck(pkt.NodeID(int32(arg)))
+	case opSendCts:
+		m.sendCts(pkt.NodeID(int32(arg)), m.ctsNav)
+	default:
+		panic(fmt.Sprintf("mac %v: unknown event op %d", m.id, op))
+	}
+}
+
+// newFrame takes a pooled Frame (zeroed on release) or allocates one.
+func (m *Mac) newFrame() *Frame {
+	if k := len(m.frameFree); k > 0 {
+		f := m.frameFree[k-1]
+		m.frameFree[k-1] = nil
+		m.frameFree = m.frameFree[:k-1]
+		return f
+	}
+	return &Frame{}
+}
+
+// releaseFrame zeroes f and returns it to the pool. The caller owns the
+// last reference: the frame must be off the air with every receiver's
+// RadioReceive complete.
+func (m *Mac) releaseFrame(f *Frame) {
+	*f = Frame{}
+	if len(m.frameFree) < frameFreeCap {
+		m.frameFree = append(m.frameFree, f)
+	}
+}
+
 // Mac is one node's medium-access entity.
 type Mac struct {
 	cfg   Config
@@ -89,19 +153,25 @@ type Mac struct {
 	navUntil des.Time
 	navEv    des.Event
 
-	// Pre-bound handler closures: scheduling a method value allocates a
-	// closure per call, so the recurring DCF callbacks are bound once here.
-	onNavExpireFn   func()
-	onDeferDoneFn   func()
-	onBackoffDoneFn func()
-	onAckTimeoutFn  func()
-	onCtsTimeoutFn  func()
-	sendCurDataFn   func()
-	sendAckFn       func()
-	// ackDst is the destination of the SIFS-deferred ACK sendAckFn sends.
-	// At most one response can be pending: a second frame cannot finish
-	// arriving within SIFS of the previous one (every airtime ≫ SIFS).
-	ackDst pkt.NodeID
+	// ctsNav is the NAV the SIFS-deferred CTS (opSendCts) will announce.
+	// At most one response can be pending — a second frame cannot finish
+	// arriving within SIFS of the previous one (every airtime ≫ SIFS) — so
+	// a single field suffices; the destination rides in the event arg.
+	ctsNav des.Time
+
+	// frameFree pools Frame objects so the per-packet Send/ACK/RTS/CTS
+	// allocations disappear in steady state. Frames return to the pool
+	// when their last reference dies: data frames in finishCur, control
+	// frames at their RadioTxDone (receivers only borrow frames inside
+	// RadioReceive, which completes before the sender's TxDone fires).
+	// Frames stranded by a Crash while possibly on the air are leaked to
+	// the garbage collector instead — correctness over thrift.
+	frameFree []*Frame
+
+	// pool, when non-nil, is this node's packet pool: the clone handed up
+	// for a delivered unicast payload comes from it, and the routing layer
+	// releases it back (pkt.Pool documents the ownership discipline).
+	pool *pkt.Pool
 
 	// Per-peer state, dense by NodeID (node IDs are 0..N-1): lastSeq[i]
 	// is the last unicast sequence number heard from peer i (-1 = none),
@@ -129,13 +199,6 @@ func New(cfg Config, sim *des.Sim, r *radio.Radio, id pkt.NodeID, src *rng.Sourc
 		radio: r,
 		id:    id,
 	}
-	m.onNavExpireFn = m.onNavExpire
-	m.onDeferDoneFn = m.onDeferDone
-	m.onBackoffDoneFn = m.onBackoffDone
-	m.onAckTimeoutFn = m.onAckTimeout
-	m.onCtsTimeoutFn = m.onCtsTimeout
-	m.sendCurDataFn = m.sendCurData
-	m.sendAckFn = func() { m.sendAck(m.ackDst) }
 	m.Reset(cfg, src)
 	r.SetListener(m)
 	return m
@@ -169,7 +232,7 @@ func (m *Mac) Reset(cfg Config, src *rng.Source) {
 	m.pendingAckTx = false
 	m.navUntil = 0
 	m.navEv = des.Event{}
-	m.ackDst = 0
+	m.ctsNav = 0
 	m.seq = 0
 	for i := range m.lastSeq {
 		m.lastSeq[i] = -1
@@ -232,6 +295,10 @@ func (m *Mac) Recover() {
 // the MAC reference too).
 func (m *Mac) SetUpper(u Upper) { m.upper = u }
 
+// SetPool installs the node's packet pool (nil keeps plain allocation).
+// Survives Reset, like the upper layer.
+func (m *Mac) SetPool(p *pkt.Pool) { m.pool = p }
+
 // Start launches the periodic load estimator.
 func (m *Mac) Start() { m.le.start() }
 
@@ -263,13 +330,12 @@ func (m *Mac) Send(p *pkt.Packet, nextHop pkt.NodeID) {
 		m.Ctr.DroppedQueueFull++
 		return
 	}
-	f := &Frame{
-		Type:    DataFrame,
-		Src:     m.id,
-		Dst:     nextHop,
-		Payload: p,
-		Bytes:   m.cfg.DataHeaderBytes + p.Bytes,
-	}
+	f := m.newFrame()
+	f.Type = DataFrame
+	f.Src = m.id
+	f.Dst = nextHop
+	f.Payload = p
+	f.Bytes = m.cfg.DataHeaderBytes + p.Bytes
 	if nextHop != pkt.Broadcast {
 		m.seq++
 		f.Seq = m.seq
@@ -326,7 +392,7 @@ func (m *Mac) setNAV(dur des.Time) {
 	wasBusy := m.channelBusy()
 	m.navUntil = until
 	m.navEv.Cancel()
-	m.navEv = m.sim.Schedule(dur, m.onNavExpireFn)
+	m.navEv = m.sim.ScheduleCall(dur, m, opNavExpire, 0)
 	if !wasBusy {
 		// NAV newly blocks the channel: freeze contention exactly as a
 		// physical-carrier busy transition would.
@@ -379,14 +445,14 @@ func (m *Mac) beginDefer() {
 	if m.useEIFS {
 		d = m.cfg.EIFS()
 	}
-	m.deferEv = m.sim.Schedule(d, m.onDeferDoneFn)
+	m.deferEv = m.sim.ScheduleCall(d, m, opDeferDone, 0)
 }
 
 func (m *Mac) onDeferDone() {
 	m.useEIFS = false
 	m.state = accBackoff
 	m.backoffStart = m.sim.Now()
-	m.backoffEv = m.sim.Schedule(des.Time(m.backoffSlots)*m.cfg.SlotTime, m.onBackoffDoneFn)
+	m.backoffEv = m.sim.ScheduleCall(des.Time(m.backoffSlots)*m.cfg.SlotTime, m, opBackoffDone, 0)
 }
 
 func (m *Mac) onBackoffDone() {
@@ -429,7 +495,8 @@ func (m *Mac) transmitRTS() {
 	// NAV announced by the RTS: the rest of the exchange after its airtime.
 	nav := m.cfg.SIFS + m.cfg.CTSDuration() + m.cfg.SIFS + dataDur +
 		m.cfg.SIFS + m.cfg.AckDuration()
-	rts := &Frame{Type: RTSFrame, Src: m.id, Dst: f.Dst, Bytes: m.cfg.RTSBytes, Dur: nav}
+	rts := m.newFrame()
+	rts.Type, rts.Src, rts.Dst, rts.Bytes, rts.Dur = RTSFrame, m.id, f.Dst, m.cfg.RTSBytes, nav
 	m.state = accTxRts
 	m.le.setOccupied(true)
 	m.Ctr.TxRTS++
@@ -457,14 +524,18 @@ func (m *Mac) sendCurData() {
 }
 
 // finishCur concludes the frame in service and reports its fate upward.
+// The frame is recycled here — its airtime (if any) is over and retries
+// are finished, so the MAC holds the last reference.
 func (m *Mac) finishCur(ok bool) {
 	f := m.cur.frame
+	payload, dst := f.Payload, f.Dst
+	m.releaseFrame(f)
 	m.cur = nil
 	m.cw = m.cfg.CWMin
 	m.state = accIdle
 	m.le.setQueueLen(m.QueueLen())
 	if m.upper != nil {
-		m.upper.MacTxDone(f.Payload, f.Dst, ok)
+		m.upper.MacTxDone(payload, dst, ok)
 	}
 	m.next()
 }
@@ -491,10 +562,9 @@ func (m *Mac) onAckTimeout() {
 // unicast frame. ACKs bypass the interface queue and channel contention.
 func (m *Mac) scheduleAck(dst pkt.NodeID) {
 	m.pendingAckTx = true
-	m.ackDst = dst
 	// If we were mid-contention, the countdown events may fire during the
 	// ACK transmission; transmitCur's guard postpones them safely.
-	m.sim.Schedule(m.cfg.SIFS, m.sendAckFn)
+	m.sim.ScheduleCall(m.cfg.SIFS, m, opSendAck, uint32(dst))
 }
 
 func (m *Mac) sendAck(dst pkt.NodeID) {
@@ -510,7 +580,8 @@ func (m *Mac) sendAck(dst pkt.NodeID) {
 		}
 		return
 	}
-	ack := &Frame{Type: AckFrame, Src: m.id, Dst: dst, Bytes: m.cfg.AckBytes}
+	ack := m.newFrame()
+	ack.Type, ack.Src, ack.Dst, ack.Bytes = AckFrame, m.id, dst, m.cfg.AckBytes
 	m.Ctr.TxAck++
 	m.le.setOccupied(true)
 	m.radio.Transmit(ack, ack.Bytes, m.cfg.AckDuration())
@@ -582,29 +653,36 @@ func (m *Mac) RadioTxDone(payload any) {
 	m.noteRadioState()
 	switch f.Type {
 	case AckFrame, CTSFrame:
-		// Our control response is done; resume any postponed contention.
+		// Our control response is done (and off the air, so the frame can
+		// be recycled); resume any postponed contention.
+		m.releaseFrame(f)
 		m.pendingAckTx = false
 		if m.cur != nil && m.state == accPostponed {
 			m.startAccess()
 		}
 		return
 	case RTSFrame:
+		// The RTS is off the air either way; recycle it.
+		m.releaseFrame(f)
 		if m.cur == nil {
 			return // completion of a frame orphaned by a crash/recover cycle
 		}
 		m.state = accWaitCts
-		m.ctsEv = m.sim.Schedule(m.cfg.CTSTimeout(), m.onCtsTimeoutFn)
+		m.ctsEv = m.sim.ScheduleCall(m.cfg.CTSTimeout(), m, opCtsTimeout, 0)
 		return
 	}
 	if m.cur == nil {
-		return // completion of a frame orphaned by a crash/recover cycle
+		// Completion of a frame orphaned by a crash/recover cycle: no
+		// retransmission can reference it again, so recycle it.
+		m.releaseFrame(f)
+		return
 	}
 	if f.Dst == pkt.Broadcast {
 		m.finishCur(true)
 		return
 	}
 	m.state = accWaitAck
-	m.ackEv = m.sim.Schedule(m.cfg.AckTimeout(), m.onAckTimeoutFn)
+	m.ackEv = m.sim.ScheduleCall(m.cfg.AckTimeout(), m, opAckTimeout, 0)
 }
 
 // onCtsTimeout mirrors onAckTimeout for a failed RTS handshake.
@@ -637,7 +715,8 @@ func (m *Mac) sendCts(dst pkt.NodeID, nav des.Time) {
 		}
 		return
 	}
-	cts := &Frame{Type: CTSFrame, Src: m.id, Dst: dst, Bytes: m.cfg.CTSBytes, Dur: nav}
+	cts := m.newFrame()
+	cts.Type, cts.Src, cts.Dst, cts.Bytes, cts.Dur = CTSFrame, m.id, dst, m.cfg.CTSBytes, nav
 	m.Ctr.TxCTS++
 	m.le.setOccupied(true)
 	m.radio.Transmit(cts, cts.Bytes, m.cfg.CTSDuration())
@@ -675,9 +754,8 @@ func (m *Mac) RadioReceive(payload any, bytes int, ok bool) {
 			return
 		}
 		m.pendingAckTx = true
-		nav := f.Dur - m.cfg.SIFS - m.cfg.CTSDuration()
-		src := f.Src
-		m.sim.Schedule(m.cfg.SIFS, func() { m.sendCts(src, nav) })
+		m.ctsNav = f.Dur - m.cfg.SIFS - m.cfg.CTSDuration()
+		m.sim.ScheduleCall(m.cfg.SIFS, m, opSendCts, uint32(f.Src))
 	case CTSFrame:
 		if f.Dst != m.id {
 			m.setNAV(f.Dur)
@@ -686,7 +764,7 @@ func (m *Mac) RadioReceive(payload any, bytes int, ok bool) {
 		if m.state == accWaitCts && m.cur != nil && f.Src == m.cur.frame.Dst {
 			m.ctsEv.Cancel()
 			m.state = accTxData
-			m.sim.Schedule(m.cfg.SIFS, m.sendCurDataFn)
+			m.sim.ScheduleCall(m.cfg.SIFS, m, opSendData, 0)
 		}
 	case DataFrame:
 		switch f.Dst {
@@ -708,7 +786,7 @@ func (m *Mac) RadioReceive(payload any, bytes int, ok bool) {
 			}
 			m.Ctr.RxDelivered++
 			if m.upper != nil {
-				m.upper.MacReceive(f.Payload.Clone(), f.Src)
+				m.upper.MacReceive(m.pool.Clone(f.Payload), f.Src)
 			}
 		default:
 			// Overheard unicast for someone else: ignored (no

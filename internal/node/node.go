@@ -69,11 +69,17 @@ func BuildNetwork(
 		id := pkt.NodeID(i)
 		r := medium.Attach(pos, radioParams)
 		m := mac.New(macCfg, sim, r, id, master.Derive(uint64(i), 1))
+		// One packet pool per node, shared by the MAC (unicast delivery
+		// clones) and the routing agent (everything else). Packets never
+		// cross pools: receivers clone what they keep.
+		pool := pkt.NewPool()
+		m.SetPool(pool)
 		env := routing.Env{
-			Sim: sim,
-			Mac: m,
-			ID:  id,
-			Rng: master.Derive(uint64(i), 2),
+			Sim:  sim,
+			Mac:  m,
+			ID:   id,
+			Rng:  master.Derive(uint64(i), 2),
+			Pool: pool,
 		}
 		nodes[i] = &Node{
 			ID:    id,
@@ -110,10 +116,11 @@ func ResetNetwork(
 		n.Pos = positions[i]
 		n.Mac.Reset(macCfg, master.Derive(uint64(i), 1))
 		env := routing.Env{
-			Sim: n.Agent.Env.Sim,
-			Mac: n.Mac,
-			ID:  n.ID,
-			Rng: master.Derive(uint64(i), 2),
+			Sim:  n.Agent.Env.Sim,
+			Mac:  n.Mac,
+			ID:   n.ID,
+			Rng:  master.Derive(uint64(i), 2),
+			Pool: n.Agent.Env.Pool,
 		}
 		n.Agent.Reset(env, spec.Cfg, spec.Policy())
 	}

@@ -1,0 +1,270 @@
+package pkt
+
+import "clnlr/internal/des"
+
+// Pool recycles packets for one node stack. Packet churn is the
+// simulator's dominant steady-state allocation once events and frames are
+// pooled: every HELLO beacon, every per-hop RREQ/RREP clone and every
+// data packet otherwise hits the garbage collector.
+//
+// Ownership discipline (what makes a free list safe without reference
+// counts): a packet is only ever retained by the node that allocated it.
+// Broadcast receivers borrow the sender's packet synchronously during
+// radio delivery and clone (into their own pool) anything they keep;
+// unicast payloads are cloned by the receiving MAC before they travel up
+// the stack. Allocation and release therefore always happen on the same
+// node, and the release points are exact: the routing layer gives a
+// packet back when its MAC reports the transmission done (and the packet
+// was not re-buffered), when it is dropped, or after delivering it to the
+// application sink. Crash paths deliberately leak — a packet may still be
+// on the air — the same correctness-over-thrift trade the MAC makes with
+// its frames.
+//
+// Free lists are segregated by body shape so a recycled control packet
+// keeps its co-allocated body (and a HELLO/RERR its piggyback slice
+// capacity). All methods are nil-receiver safe and fall back to plain
+// allocation, so tests and cold paths need no pool. A Pool is not safe
+// for concurrent use; each node owns one (engines never share nodes
+// across goroutines).
+type Pool struct {
+	data, rreq, rrep, rerr, hello []*Packet
+	drops                         uint64
+}
+
+// PoolCap bounds each free list; beyond it, released packets fall to the
+// garbage collector so a burst can never pin its high-water memory.
+const PoolCap = 512
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Drops reports how many released packets were dropped to the GC because
+// their free list was full.
+func (pl *Pool) Drops() uint64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.drops
+}
+
+// Len reports the total number of packets currently pooled.
+func (pl *Pool) Len() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.data) + len(pl.rreq) + len(pl.rrep) + len(pl.rerr) + len(pl.hello)
+}
+
+func take(list *[]*Packet) *Packet {
+	k := len(*list)
+	if k == 0 {
+		return nil
+	}
+	p := (*list)[k-1]
+	(*list)[k-1] = nil
+	*list = (*list)[:k-1]
+	return p
+}
+
+func (pl *Pool) put(list *[]*Packet, p *Packet) {
+	if len(*list) >= PoolCap {
+		pl.drops++
+		return
+	}
+	*list = append(*list, p)
+}
+
+// Release returns a packet to its shape's free list. The caller must
+// hold the only live reference.
+func (pl *Pool) Release(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	switch {
+	case p.RREQ != nil:
+		pl.put(&pl.rreq, p)
+	case p.RREP != nil:
+		pl.put(&pl.rrep, p)
+	case p.RERR != nil:
+		pl.put(&pl.rerr, p)
+	case p.Hello != nil:
+		pl.put(&pl.hello, p)
+	default:
+		pl.put(&pl.data, p)
+	}
+}
+
+// Data is the pooled NewData.
+func (pl *Pool) Data(src, dst NodeID, payload, flow, seq int, now des.Time, ttl int) *Packet {
+	if pl == nil {
+		return NewData(src, dst, payload, flow, seq, now, ttl)
+	}
+	p := take(&pl.data)
+	if p == nil {
+		return NewData(src, dst, payload, flow, seq, now, ttl)
+	}
+	*p = Packet{
+		Kind:      Data,
+		Src:       src,
+		Dst:       dst,
+		TTL:       ttl,
+		Bytes:     payload + IPHeaderBytes + UDPHeaderBytes,
+		CreatedAt: now,
+		FlowID:    flow,
+		Seq:       seq,
+	}
+	return p
+}
+
+// RREQ is the pooled NewRREQ.
+func (pl *Pool) RREQ(body RREQBody, now des.Time, ttl int) *Packet {
+	if pl == nil {
+		return NewRREQ(body, now, ttl)
+	}
+	p := take(&pl.rreq)
+	if p == nil {
+		return NewRREQ(body, now, ttl)
+	}
+	b := p.RREQ
+	*b = body
+	*p = Packet{
+		Kind:      RREQ,
+		Src:       body.Origin,
+		Dst:       Broadcast,
+		TTL:       ttl,
+		Bytes:     RREQBytes,
+		CreatedAt: now,
+		RREQ:      b,
+	}
+	return p
+}
+
+// RREP is the pooled NewRREP.
+func (pl *Pool) RREP(src NodeID, body RREPBody, now des.Time, ttl int) *Packet {
+	if pl == nil {
+		return NewRREP(src, body, now, ttl)
+	}
+	p := take(&pl.rrep)
+	if p == nil {
+		return NewRREP(src, body, now, ttl)
+	}
+	b := p.RREP
+	*b = body
+	*p = Packet{
+		Kind:      RREP,
+		Src:       src,
+		Dst:       body.Origin,
+		TTL:       ttl,
+		Bytes:     RREPBytes,
+		CreatedAt: now,
+		RREP:      b,
+	}
+	return p
+}
+
+// RERR is the pooled NewRERR; the unreachable list is copied into the
+// body's retained storage, so the caller keeps its slice.
+func (pl *Pool) RERR(src NodeID, unreachable []UnreachableDest, now des.Time) *Packet {
+	if pl == nil {
+		return NewRERR(src, unreachable, now)
+	}
+	p := take(&pl.rerr)
+	if p == nil {
+		return NewRERR(src, unreachable, now)
+	}
+	b := p.RERR
+	b.Unreachable = append(b.Unreachable[:0], unreachable...)
+	*p = Packet{
+		Kind:      RERR,
+		Src:       src,
+		Dst:       Broadcast,
+		TTL:       1,
+		Bytes:     RERRBaseBytes + RERRPerDestBytes*len(unreachable),
+		CreatedAt: now,
+		RERR:      b,
+	}
+	return p
+}
+
+// Hello is the pooled NewHello; the piggybacked neighbour loads are
+// copied into the body's retained storage, so the caller keeps its slice.
+func (pl *Pool) Hello(src NodeID, body HelloBody, now des.Time) *Packet {
+	if pl == nil {
+		return NewHello(src, body, now)
+	}
+	p := take(&pl.hello)
+	if p == nil {
+		return NewHello(src, body, now)
+	}
+	b := p.Hello
+	b.Load = body.Load
+	b.NbrLoads = append(b.NbrLoads[:0], body.NbrLoads...)
+	*p = Packet{
+		Kind:      Hello,
+		Src:       src,
+		Dst:       Broadcast,
+		TTL:       1,
+		Bytes:     HelloBaseBytes + HelloPerNbrBytes*len(body.NbrLoads),
+		CreatedAt: now,
+		Hello:     b,
+	}
+	return p
+}
+
+// Clone is the pooled Packet.Clone: same deep-copy semantics, recycled
+// storage when a matching shape is free.
+func (pl *Pool) Clone(p *Packet) *Packet {
+	if pl == nil {
+		return p.Clone()
+	}
+	switch {
+	case p.RREQ != nil:
+		q := take(&pl.rreq)
+		if q == nil {
+			return p.Clone()
+		}
+		b := q.RREQ
+		*b = *p.RREQ
+		*q = *p
+		q.RREQ = b
+		return q
+	case p.RREP != nil:
+		q := take(&pl.rrep)
+		if q == nil {
+			return p.Clone()
+		}
+		b := q.RREP
+		*b = *p.RREP
+		*q = *p
+		q.RREP = b
+		return q
+	case p.RERR != nil:
+		q := take(&pl.rerr)
+		if q == nil {
+			return p.Clone()
+		}
+		b := q.RERR
+		b.Unreachable = append(b.Unreachable[:0], p.RERR.Unreachable...)
+		*q = *p
+		q.RERR = b
+		return q
+	case p.Hello != nil:
+		q := take(&pl.hello)
+		if q == nil {
+			return p.Clone()
+		}
+		b := q.Hello
+		b.Load = p.Hello.Load
+		b.NbrLoads = append(b.NbrLoads[:0], p.Hello.NbrLoads...)
+		*q = *p
+		q.Hello = b
+		return q
+	default:
+		q := take(&pl.data)
+		if q == nil {
+			return p.Clone()
+		}
+		*q = *p
+		return q
+	}
+}

@@ -1,0 +1,175 @@
+package pkt
+
+import (
+	"reflect"
+	"testing"
+
+	"clnlr/internal/des"
+)
+
+// samples builds one packet of every shape via the plain constructors.
+func samples() []*Packet {
+	return []*Packet{
+		NewData(1, 2, 512, 3, 7, 5*des.Second, 16),
+		NewRREQ(RREQBody{ID: 9, Origin: 1, OriginSeq: 4, Target: 5, TargetSeq: 2,
+			TargetSeqKnown: true, HopCount: 3, Cost: 4.5, Attempt: 1}, des.Second, 20),
+		NewRREP(4, RREPBody{Origin: 1, Target: 5, TargetSeq: 2, HopCount: 3,
+			Cost: 4.5, Lifetime: des.Second}, 2*des.Second, 20),
+		NewRERR(3, []UnreachableDest{{Node: 5, Seq: 2}, {Node: 6, Seq: 9}}, des.Second),
+		NewHello(2, HelloBody{Load: 0.7, NbrLoads: []NeighborLoad{{ID: 1, Load: 0.2}, {ID: 3, Load: 0.9}}}, des.Second),
+	}
+}
+
+// TestPooledConstructorsMatchPlain checks that packets built through a
+// pool — both the cold path (empty free list) and the recycled path —
+// are field-for-field identical to the plain constructors' output.
+func TestPooledConstructorsMatchPlain(t *testing.T) {
+	build := func(pl *Pool) []*Packet {
+		return []*Packet{
+			pl.Data(1, 2, 512, 3, 7, 5*des.Second, 16),
+			pl.RREQ(RREQBody{ID: 9, Origin: 1, OriginSeq: 4, Target: 5, TargetSeq: 2,
+				TargetSeqKnown: true, HopCount: 3, Cost: 4.5, Attempt: 1}, des.Second, 20),
+			pl.RREP(4, RREPBody{Origin: 1, Target: 5, TargetSeq: 2, HopCount: 3,
+				Cost: 4.5, Lifetime: des.Second}, 2*des.Second, 20),
+			pl.RERR(3, []UnreachableDest{{Node: 5, Seq: 2}, {Node: 6, Seq: 9}}, des.Second),
+			pl.Hello(2, HelloBody{Load: 0.7, NbrLoads: []NeighborLoad{{ID: 1, Load: 0.2}, {ID: 3, Load: 0.9}}}, des.Second),
+		}
+	}
+	want := samples()
+	pl := NewPool()
+	cold := build(pl)
+	for i, p := range cold {
+		if !reflect.DeepEqual(p, want[i]) {
+			t.Errorf("cold pooled %v differs from plain: %+v vs %+v", p.Kind, p, want[i])
+		}
+	}
+	// Seed every free list with stale packets carrying different contents,
+	// then rebuild: recycled storage must yield the same results.
+	pl.Release(pl.Data(8, 9, 1, 1, 1, des.Millisecond, 1))
+	pl.Release(pl.RREQ(RREQBody{ID: 1, Origin: 7, Target: 8, HopCount: 9}, 0, 1))
+	pl.Release(pl.RREP(9, RREPBody{Origin: 7, Target: 8}, 0, 1))
+	pl.Release(pl.RERR(9, []UnreachableDest{{Node: 1, Seq: 1}, {Node: 2, Seq: 2}, {Node: 3, Seq: 3}}, 0))
+	pl.Release(pl.Hello(9, HelloBody{Load: 0.1, NbrLoads: []NeighborLoad{{ID: 9, Load: 1}}}, 0))
+	if pl.Len() != 5 {
+		t.Fatalf("Len() = %d after seeding five shapes, want 5", pl.Len())
+	}
+	warm := build(pl)
+	if pl.Len() != 0 {
+		t.Fatalf("Len() = %d after draining, want 0", pl.Len())
+	}
+	for i, p := range warm {
+		if !reflect.DeepEqual(p, want[i]) {
+			t.Errorf("recycled pooled %v differs from plain: %+v vs %+v", p.Kind, p, want[i])
+		}
+	}
+}
+
+// TestPoolRecyclesStorage checks that a released packet (and its body) is
+// the very object handed out next for the same shape.
+func TestPoolRecyclesStorage(t *testing.T) {
+	pl := NewPool()
+	p := pl.RREQ(RREQBody{ID: 1, Origin: 2, Target: 3}, des.Second, 10)
+	body := p.RREQ
+	pl.Release(p)
+	q := pl.RREQ(RREQBody{ID: 4, Origin: 5, Target: 6}, 2*des.Second, 10)
+	if q != p || q.RREQ != body {
+		t.Error("pooled RREQ did not reuse the released packet and body")
+	}
+	// Shapes must not cross: a data packet cannot come from the RREQ list.
+	pl.Release(q)
+	d := pl.Data(1, 2, 100, 0, 0, 0, 5)
+	if d == q {
+		t.Error("data allocation reused an RREQ-shaped packet")
+	}
+	if pl.Len() != 1 {
+		t.Errorf("Len() = %d, want 1 (the RREQ still pooled)", pl.Len())
+	}
+}
+
+// TestPooledCloneMatchesClone checks pooled Clone against Packet.Clone for
+// every shape, on both the fallback and the recycled path, and that the
+// clone is a genuinely independent deep copy.
+func TestPooledCloneMatchesClone(t *testing.T) {
+	for _, orig := range samples() {
+		pl := NewPool()
+		for pass, c := range []*Packet{pl.Clone(orig), func() *Packet {
+			// Seed the matching free list so the second clone recycles.
+			pl.Release(pl.Clone(orig))
+			return pl.Clone(orig)
+		}()} {
+			if !reflect.DeepEqual(c, orig) {
+				t.Errorf("%v clone pass %d differs: %+v vs %+v", orig.Kind, pass, c, orig)
+				continue
+			}
+			if c == orig {
+				t.Errorf("%v clone pass %d aliases the original", orig.Kind, pass)
+			}
+			// Mutating the clone's body must not leak into the original.
+			switch {
+			case c.RREQ != nil:
+				c.RREQ.Cost++
+				if orig.RREQ.Cost == c.RREQ.Cost {
+					t.Errorf("RREQ clone pass %d shares its body", pass)
+				}
+			case c.RREP != nil:
+				c.RREP.Cost++
+				if orig.RREP.Cost == c.RREP.Cost {
+					t.Errorf("RREP clone pass %d shares its body", pass)
+				}
+			case c.RERR != nil:
+				c.RERR.Unreachable[0].Seq++
+				if orig.RERR.Unreachable[0].Seq == c.RERR.Unreachable[0].Seq {
+					t.Errorf("RERR clone pass %d shares its unreachable list", pass)
+				}
+			case c.Hello != nil:
+				c.Hello.NbrLoads[0].Load++
+				if orig.Hello.NbrLoads[0].Load == c.Hello.NbrLoads[0].Load {
+					t.Errorf("Hello clone pass %d shares its neighbour loads", pass)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolCap checks the free-list bound and the drop counter.
+func TestPoolCap(t *testing.T) {
+	pl := NewPool()
+	for i := 0; i < PoolCap+5; i++ {
+		pl.Release(NewData(1, 2, 10, 0, i, 0, 5))
+	}
+	if pl.Len() != PoolCap {
+		t.Errorf("Len() = %d, want cap %d", pl.Len(), PoolCap)
+	}
+	if pl.Drops() != 5 {
+		t.Errorf("Drops() = %d, want 5", pl.Drops())
+	}
+}
+
+// TestNilPoolFallsBack checks every method is nil-receiver safe and
+// behaves like the plain constructors.
+func TestNilPoolFallsBack(t *testing.T) {
+	var pl *Pool
+	pl.Release(nil)
+	pl.Release(NewData(1, 2, 10, 0, 0, 0, 5))
+	if pl.Len() != 0 || pl.Drops() != 0 {
+		t.Error("nil pool reported pooled packets or drops")
+	}
+	want := samples()
+	got := []*Packet{
+		pl.Data(1, 2, 512, 3, 7, 5*des.Second, 16),
+		pl.RREQ(RREQBody{ID: 9, Origin: 1, OriginSeq: 4, Target: 5, TargetSeq: 2,
+			TargetSeqKnown: true, HopCount: 3, Cost: 4.5, Attempt: 1}, des.Second, 20),
+		pl.RREP(4, RREPBody{Origin: 1, Target: 5, TargetSeq: 2, HopCount: 3,
+			Cost: 4.5, Lifetime: des.Second}, 2*des.Second, 20),
+		pl.RERR(3, []UnreachableDest{{Node: 5, Seq: 2}, {Node: 6, Seq: 9}}, des.Second),
+		pl.Hello(2, HelloBody{Load: 0.7, NbrLoads: []NeighborLoad{{ID: 1, Load: 0.2}, {ID: 3, Load: 0.9}}}, des.Second),
+	}
+	for i, p := range got {
+		if !reflect.DeepEqual(p, want[i]) {
+			t.Errorf("nil-pool %v differs from plain constructor", p.Kind)
+		}
+	}
+	if c := pl.Clone(want[1]); !reflect.DeepEqual(c, want[1]) || c == want[1] {
+		t.Error("nil-pool Clone is not an independent deep copy")
+	}
+}

@@ -56,9 +56,10 @@ type Listener interface {
 }
 
 // transmission is one frame in flight. Instances are pooled by the Medium:
-// finish returns them to a free list, so steady-state transmissions do not
-// allocate. finishFn is the end-of-airtime callback bound once per pooled
-// object and reused across recycles.
+// finish returns them to a free list (capped at txPoolCap), so
+// steady-state transmissions do not allocate. End-of-airtime is a typed
+// DES event addressed to the Medium carrying the source radio's ID — a
+// radio has at most one transmission in flight, so the ID identifies it.
 type transmission struct {
 	src     *Radio
 	payload any
@@ -76,9 +77,18 @@ type transmission struct {
 	// touched[i].live, kept in sync by arrivalEnd's swap-delete so
 	// removal is O(1) instead of a scan (receivers in a flood can hold
 	// dozens of concurrent arrivals).
-	liveAt   []int32
-	finishFn func()
+	liveAt []int32
 }
+
+// opTxFinish is the Medium's only typed-event op: end of airtime for the
+// transmission of the radio identified by the event's arg.
+const opTxFinish int32 = 0
+
+// defaultTxPoolCap bounds the transmission free list. Concurrent
+// transmissions are bounded by the radio count, so this only bites on
+// very large deployments — it keeps a dense-sweep burst from pinning its
+// peak pool for the rest of a warm engine's life.
+const defaultTxPoolCap = 1024
 
 // arrival is the receiver-side state for the frame a radio is locked onto.
 type arrival struct {
@@ -193,7 +203,14 @@ type Medium struct {
 	grid        *cellGrid
 	candidates  []*Radio // reusable spatial-query buffer
 
-	txPool []*transmission
+	txPool      []*transmission
+	txPoolCap   int
+	txPoolDrops uint64
+	txInFlight  int
+	// txInFlightHW is the peak concurrent-transmission count of the run —
+	// deterministic (a pure function of the event sequence), so it is safe
+	// to fold into golden metrics.
+	txInFlightHW int
 
 	// impair, when non-nil, is the per-link burst-loss process applied to
 	// otherwise-successful deliveries (fault injection). It is evaluated
@@ -215,6 +232,7 @@ func NewMedium(sim *des.Sim, prop Propagation) *Medium {
 		prop:      prop,
 		minTrackW: 1e-14,
 		static:    ok && ti.TimeInvariant(),
+		txPoolCap: defaultTxPoolCap,
 	}
 }
 
@@ -266,6 +284,7 @@ func (m *Medium) Reset(prop Propagation, positions []geom.Point) {
 	m.grid = nil
 	m.impair = nil // reinstalled per run via SetImpairment
 	m.Transmissions, m.Deliveries, m.Corruptions, m.ImpairDrops = 0, 0, 0, 0
+	m.txInFlight, m.txInFlightHW = 0, 0
 	for i, r := range m.radios {
 		r.pos = positions[i]
 		r.channel = 0
@@ -415,13 +434,12 @@ func (m *Medium) newTransmission() *transmission {
 		m.txPool = m.txPool[:k-1]
 		return t
 	}
-	t := &transmission{}
-	t.finishFn = func() { t.src.m.finish(t) }
-	return t
+	return &transmission{}
 }
 
-// releaseTransmission returns t to the pool. Callers must guarantee no
-// radio still references it (finish clears every arrival first).
+// releaseTransmission returns t to the pool — or drops it to the garbage
+// collector when the pool is at capacity. Callers must guarantee no radio
+// still references it (finish clears every arrival first).
 func (m *Medium) releaseTransmission(t *transmission) {
 	t.src = nil
 	t.payload = nil
@@ -431,7 +449,46 @@ func (m *Medium) releaseTransmission(t *transmission) {
 	t.touched = t.touched[:0]
 	t.rxPower = t.rxPower[:0]
 	t.liveAt = t.liveAt[:0]
-	m.txPool = append(m.txPool, t)
+	if len(m.txPool) < m.txPoolCap {
+		m.txPool = append(m.txPool, t)
+	} else {
+		m.txPoolDrops++
+	}
+}
+
+// TxInFlightHW returns the run's peak number of concurrent transmissions
+// — the sizing signal for the transmission pool, and deterministic across
+// fast/reference paths and warm/cold engines.
+func (m *Medium) TxInFlightHW() int { return m.txInFlightHW }
+
+// TxPoolLen returns the current transmission free-list length.
+func (m *Medium) TxPoolLen() int { return len(m.txPool) }
+
+// TxPoolDrops returns how many transmissions were dropped to the garbage
+// collector because the pool was at capacity.
+func (m *Medium) TxPoolDrops() uint64 { return m.txPoolDrops }
+
+// SetTxPoolCap bounds the transmission free list (n < 0 restores the
+// default; 0 disables pooling), immediately trimming a longer list.
+func (m *Medium) SetTxPoolCap(n int) {
+	if n < 0 {
+		n = defaultTxPoolCap
+	}
+	m.txPoolCap = n
+	if len(m.txPool) > n {
+		for i := n; i < len(m.txPool); i++ {
+			m.txPool[i] = nil
+		}
+		m.txPool = m.txPool[:n]
+	}
+}
+
+// HandleEvent dispatches the Medium's typed DES events.
+func (m *Medium) HandleEvent(op int32, arg uint32) {
+	if op != opTxFinish {
+		panic(fmt.Sprintf("radio: unknown event op %d", op))
+	}
+	m.finish(m.radios[arg].tx)
 }
 
 // RxPowerBetween exposes the propagation computation for topology
@@ -556,7 +613,11 @@ func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScal
 	if !m.reference && m.grid != nil {
 		m.candidates = candidates // hand the query buffer back for reuse
 	}
-	m.sim.Schedule(duration, t.finishFn)
+	m.txInFlight++
+	if m.txInFlight > m.txInFlightHW {
+		m.txInFlightHW = m.txInFlight
+	}
+	m.sim.ScheduleCall(duration, m, opTxFinish, uint32(r.id))
 }
 
 // finish ends transmission t: concludes reception at every touched radio,
@@ -568,6 +629,7 @@ func (m *Medium) finish(t *transmission) {
 	src := t.src
 	payload := t.payload
 	m.releaseTransmission(t)
+	m.txInFlight--
 	src.transmitting = false
 	src.tx = nil
 	src.listener.RadioTxDone(payload)

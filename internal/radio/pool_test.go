@@ -1,0 +1,82 @@
+package radio
+
+import (
+	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+)
+
+// stagger launches n back-to-back transmissions from radios[0] and one
+// overlapping transmission per peer radio, so both the pool and the
+// in-flight counter see pressure.
+func stagger(sim *des.Sim, radios []*Radio, n int) {
+	for i := 0; i < n; i++ {
+		at := des.Time(i) * 2 * des.Millisecond
+		sim.At(at, func() { radios[0].Transmit("f", 100, des.Millisecond) })
+		for j := 1; j < len(radios); j++ {
+			j := j
+			sim.At(at, func() { radios[j].Transmit("g", 100, des.Millisecond) })
+		}
+	}
+}
+
+func TestTxInFlightHighWater(t *testing.T) {
+	sim, m, radios, _ := testbed(DefaultParams(),
+		geom.Point{X: 0}, geom.Point{X: 200})
+	stagger(sim, radios, 3)
+	sim.Run()
+	// Both radios transmit concurrently in every round.
+	if hw := m.TxInFlightHW(); hw != 2 {
+		t.Fatalf("tx in-flight high-water %d, want 2", hw)
+	}
+	if m.TxPoolLen() == 0 {
+		t.Fatal("transmission pool empty after completed transmissions")
+	}
+	m.Reset(NewTwoRay(914e6, 1.5, 1.5), []geom.Point{{X: 0}, {X: 200}})
+	if m.TxInFlightHW() != 0 {
+		t.Fatalf("high-water %d survived Reset", m.TxInFlightHW())
+	}
+}
+
+func TestTxPoolCap(t *testing.T) {
+	sim, m, radios, _ := testbed(DefaultParams(),
+		geom.Point{X: 0}, geom.Point{X: 200})
+	m.SetTxPoolCap(1)
+	stagger(sim, radios, 5)
+	sim.Run()
+	if got := m.TxPoolLen(); got > 1 {
+		t.Fatalf("pool length %d exceeds cap 1", got)
+	}
+	if m.TxPoolDrops() == 0 {
+		t.Fatal("no pool drops recorded despite cap pressure")
+	}
+}
+
+func TestSetTxPoolCapTrimsExisting(t *testing.T) {
+	sim, m, radios, _ := testbed(DefaultParams(),
+		geom.Point{X: 0}, geom.Point{X: 200})
+	stagger(sim, radios, 4)
+	sim.Run()
+	if m.TxPoolLen() < 2 {
+		t.Fatalf("pool length %d, want at least 2 before trim", m.TxPoolLen())
+	}
+	m.SetTxPoolCap(1)
+	if got := m.TxPoolLen(); got != 1 {
+		t.Fatalf("pool length %d after trim to 1", got)
+	}
+	m.SetTxPoolCap(-1) // restore default
+	if m.txPoolCap != defaultTxPoolCap {
+		t.Fatalf("txPoolCap %d, want default %d", m.txPoolCap, defaultTxPoolCap)
+	}
+}
+
+func TestUnknownMediumOpPanics(t *testing.T) {
+	_, m, _, _ := testbed(DefaultParams(), geom.Point{X: 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op did not panic")
+		}
+	}()
+	m.HandleEvent(99, 0)
+}

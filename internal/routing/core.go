@@ -101,6 +101,15 @@ type Spec struct {
 	Policy func() RREQPolicy
 }
 
+// Typed DES event ops. The Core is its own des.Handler, so the hot
+// scheduling sites — discovery timeouts, jittered RREQ rebroadcasts,
+// reply-window closes — carry a small arg instead of a captured closure.
+const (
+	copDiscoveryTimeout int32 = iota // arg: destination NodeID
+	copDeferredSend                  // arg: deferred slot index
+	copReplyWindow                   // arg: waitKeys slot index
+)
+
 // Core is the shared routing engine. One Core per node; it implements
 // mac.Upper and drives the scheme-specific RREQPolicy.
 type Core struct {
@@ -119,6 +128,15 @@ type Core struct {
 	pendingCount int
 	replyWaits   map[rreqKey]*replyWait
 	hello        *des.Ticker
+
+	// deferred parks packets awaiting a jittered broadcast (RREQ
+	// de-synchronisation); the typed event carries the slot index, so the
+	// per-forward closure disappears. deferredFree recycles slots.
+	deferred     []*pkt.Packet
+	deferredFree []int32
+	// waitKeys parks the rreqKey of each open reply window the same way.
+	waitKeys []rreqKey
+	waitFree []int32
 
 	// down marks a crashed node (see Crash/Recover).
 	down bool
@@ -163,9 +181,39 @@ func (c *Core) Reset(env Env, cfg Config, policy RREQPolicy) {
 	c.pendingCount = 0
 	clear(c.replyWaits)
 	c.hello = nil
+	// Slots referenced by now-discarded events (the shared Sim was just
+	// Reset) would otherwise leak across runs.
+	for i := range c.deferred {
+		c.deferred[i] = nil
+	}
+	c.deferred = c.deferred[:0]
+	c.deferredFree = c.deferredFree[:0]
+	c.waitKeys = c.waitKeys[:0]
+	c.waitFree = c.waitFree[:0]
 	c.down = false
 	c.Ctr = Counters{}
 	env.Mac.SetUpper(c)
+}
+
+// HandleEvent dispatches the core's typed DES events.
+func (c *Core) HandleEvent(op int32, arg uint32) {
+	switch op {
+	case copDiscoveryTimeout:
+		c.discoveryTimeout(pkt.NodeID(int32(arg)))
+	case copDeferredSend:
+		p := c.deferred[arg]
+		c.deferred[arg] = nil
+		c.deferredFree = append(c.deferredFree, int32(arg))
+		// No down check: the MAC makes the drop decision, exactly as the
+		// pre-typed deferred closure did.
+		c.Env.Mac.Send(p, pkt.Broadcast)
+	case copReplyWindow:
+		k := c.waitKeys[arg]
+		c.waitFree = append(c.waitFree, int32(arg))
+		c.closeReplyWindow(k)
+	default:
+		panic(fmt.Sprintf("routing: unknown event op %d", op))
+	}
 }
 
 // Crash models a node failure at the routing layer: all volatile state —
@@ -305,6 +353,7 @@ func (c *Core) Send(p *pkt.Packet) {
 	c.Ctr.DataOriginated++
 	if c.down {
 		c.Ctr.DropCrashed++
+		c.Env.Pool.Release(p)
 		return
 	}
 	if r := c.table.Lookup(p.Dst); r != nil {
@@ -329,6 +378,7 @@ func (c *Core) bufferAndDiscover(p *pkt.Packet) {
 	}
 	if len(d.buffer) >= c.Cfg.BufferCap {
 		c.Ctr.DropBufferFull++
+		c.Env.Pool.Release(p)
 		return
 	}
 	d.buffer = append(d.buffer, p)
@@ -379,22 +429,30 @@ func (c *Core) originateRREQ(d *discovery) {
 		body.TargetSeq = old.Seq
 		body.TargetSeqKnown = true
 	}
-	p := pkt.NewRREQ(body, c.Env.Sim.Now(), c.discoveryTTL(d.attempts))
+	p := c.Env.Pool.RREQ(body, c.Env.Sim.Now(), c.discoveryTTL(d.attempts))
 	// Remember our own flood so echoed copies are ignored cheaply.
 	c.dup.Seen(c.Env.ID, c.rreqID)
 	c.Ctr.RREQOriginated++
 	c.tracef("rreq-originate", "target=%v id=%d attempt=%d", d.dst, c.rreqID, d.attempts)
 	c.Env.Mac.Send(p, pkt.Broadcast)
-	d.timer = c.Env.Sim.Schedule(c.Cfg.DiscoveryTimeout, func() { c.discoveryTimeout(d) })
+	d.timer = c.Env.Sim.ScheduleCall(c.Cfg.DiscoveryTimeout, c, copDiscoveryTimeout, uint32(d.dst))
 }
 
-func (c *Core) discoveryTimeout(d *discovery) {
-	if c.pendingFor(d.dst) != d {
+// discoveryTimeout fires when a flood's answer window lapses. A live
+// timeout always belongs to the current discovery for dst: every path that
+// retires a discovery (routeReady, Crash) cancels its timer first, so the
+// dense lookup is equivalent to the old captured-pointer identity check.
+func (c *Core) discoveryTimeout(dst pkt.NodeID) {
+	d := c.pendingFor(dst)
+	if d == nil {
 		return // already resolved
 	}
 	if d.attempts >= c.maxDiscoveryAttempts() {
 		c.Ctr.DiscoveriesFailed++
 		c.Ctr.DropNoRoute += uint64(len(d.buffer))
+		for _, p := range d.buffer {
+			c.Env.Pool.Release(p)
+		}
 		c.clearPending(d.dst)
 		c.tracef("discovery-fail", "target=%v buffered=%d", d.dst, len(d.buffer))
 		return
@@ -430,7 +488,7 @@ func (c *Core) ForwardRREQ(p *pkt.Packet, extraDelay des.Time) {
 		c.Ctr.DropTTL++
 		return
 	}
-	q := p.Clone()
+	q := c.Env.Pool.Clone(p)
 	q.TTL--
 	q.RREQ.HopCount++
 	q.RREQ.Cost += c.policy.CostIncrement(c)
@@ -440,7 +498,16 @@ func (c *Core) ForwardRREQ(p *pkt.Packet, extraDelay des.Time) {
 	}
 	c.Ctr.RREQForwarded++
 	c.tracef("rreq-forward", "origin=%v id=%d hops=%d cost=%.2f", q.RREQ.Origin, q.RREQ.ID, q.RREQ.HopCount, q.RREQ.Cost)
-	c.Env.Sim.Schedule(delay, func() { c.Env.Mac.Send(q, pkt.Broadcast) })
+	var slot int32
+	if k := len(c.deferredFree); k > 0 {
+		slot = c.deferredFree[k-1]
+		c.deferredFree = c.deferredFree[:k-1]
+		c.deferred[slot] = q
+	} else {
+		slot = int32(len(c.deferred))
+		c.deferred = append(c.deferred, q)
+	}
+	c.Env.Sim.ScheduleCall(delay, c, copDeferredSend, uint32(slot))
 }
 
 // SuppressRREQ records that the policy declined to forward a copy.
@@ -517,14 +584,16 @@ func (c *Core) handleTargetRREQ(p *pkt.Packet, from pkt.NodeID, first bool) {
 			return
 		}
 		c.replyWaits[k] = &replyWait{best: cand}
-		c.Env.Sim.Schedule(c.Cfg.ReplyWindow, func() {
-			ww := c.replyWaits[k]
-			if ww == nil {
-				return // window discarded by a crash before it closed
-			}
-			delete(c.replyWaits, k)
-			c.sendRREPAsTarget(b.Origin, ww.best.from, ww.best.hops, ww.best.cost)
-		})
+		var slot int32
+		if n := len(c.waitFree); n > 0 {
+			slot = c.waitFree[n-1]
+			c.waitFree = c.waitFree[:n-1]
+			c.waitKeys[slot] = k
+		} else {
+			slot = int32(len(c.waitKeys))
+			c.waitKeys = append(c.waitKeys, k)
+		}
+		c.Env.Sim.ScheduleCall(c.Cfg.ReplyWindow, c, copReplyWindow, uint32(slot))
 		return
 	}
 	const eps = 1e-9
@@ -532,6 +601,16 @@ func (c *Core) handleTargetRREQ(p *pkt.Packet, from pkt.NodeID, first bool) {
 		(cand.cost <= w.best.cost+eps && cand.hops < w.best.hops) {
 		w.best = cand
 	}
+}
+
+// closeReplyWindow answers the best RREQ copy collected for flood k.
+func (c *Core) closeReplyWindow(k rreqKey) {
+	ww := c.replyWaits[k]
+	if ww == nil {
+		return // window discarded by a crash before it closed
+	}
+	delete(c.replyWaits, k)
+	c.sendRREPAsTarget(k.origin, ww.best.from, ww.best.hops, ww.best.cost)
 }
 
 // sendRREPAsTarget generates the route reply and unicasts it to the chosen
@@ -546,7 +625,7 @@ func (c *Core) sendRREPAsTarget(origin, via pkt.NodeID, hops int, cost float64) 
 		Cost:      cost,
 		Lifetime:  c.Cfg.RouteLifetime,
 	}
-	p := pkt.NewRREP(c.Env.ID, body, c.Env.Sim.Now(), c.Cfg.TTL)
+	p := c.Env.Pool.RREP(c.Env.ID, body, c.Env.Sim.Now(), c.Cfg.TTL)
 	c.Ctr.RREPSent++
 	c.tracef("rrep-send", "origin=%v via=%v cost=%.2f", origin, via, cost)
 	c.Env.Mac.Send(p, via)
@@ -554,6 +633,10 @@ func (c *Core) sendRREPAsTarget(origin, via pkt.NodeID, hops int, cost float64) 
 }
 
 func (c *Core) handleRREP(p *pkt.Packet, from pkt.NodeID) {
+	// RREPs always arrive unicast, so p is this node's own clone (see
+	// mac.Upper contract) and dies here on every path — the forwarding
+	// branch hands the MAC a fresh clone.
+	defer c.Env.Pool.Release(p)
 	c.Ctr.RREPReceived++
 	b := p.RREP
 	// Install/refresh the forward route to the target.
@@ -580,7 +663,7 @@ func (c *Core) handleRREP(p *pkt.Packet, from pkt.NodeID) {
 		c.Ctr.DropTTL++
 		return
 	}
-	q := p.Clone()
+	q := c.Env.Pool.Clone(p)
 	q.TTL--
 	q.RREP.HopCount++
 	c.Ctr.RREPForwarded++
@@ -607,7 +690,7 @@ func (c *Core) handleRERR(p *pkt.Packet, from pkt.NodeID) {
 
 func (c *Core) sendRERR(lost []pkt.UnreachableDest) {
 	sort.Slice(lost, func(i, j int) bool { return lost[i].Node < lost[j].Node })
-	p := pkt.NewRERR(c.Env.ID, lost, c.Env.Sim.Now())
+	p := c.Env.Pool.RERR(c.Env.ID, lost, c.Env.Sim.Now())
 	c.Ctr.RERRSent++
 	c.Env.Mac.Send(p, pkt.Broadcast)
 }
@@ -617,7 +700,7 @@ func (c *Core) sendHello() {
 	if c.Cfg.TwoHopHello {
 		body.NbrLoads = c.nbrs.Loads()
 	}
-	p := pkt.NewHello(c.Env.ID, body, c.Env.Sim.Now())
+	p := c.Env.Pool.Hello(c.Env.ID, body, c.Env.Sim.Now())
 	c.Ctr.HelloSent++
 	c.Env.Mac.Send(p, pkt.Broadcast)
 }
@@ -628,16 +711,21 @@ func (c *Core) handleHello(p *pkt.Packet, from pkt.NodeID) {
 }
 
 func (c *Core) handleData(p *pkt.Packet, from pkt.NodeID) {
+	// Data always arrives unicast, so p is this node's own clone: it is
+	// released on every path except forwarding, which transfers ownership
+	// to the MAC queue (reclaimed at MacTxDone).
 	if p.Dst == c.Env.ID {
 		c.Ctr.DataDelivered++
 		c.tracef("data-deliver", "src=%v flow=%d seq=%d delay=%v", p.Src, p.FlowID, p.Seq, c.Env.Sim.Now()-p.CreatedAt)
 		if c.Env.Deliver != nil {
 			c.Env.Deliver(p, from)
 		}
+		c.Env.Pool.Release(p)
 		return
 	}
 	if p.TTL <= 1 {
 		c.Ctr.DropTTL++
+		c.Env.Pool.Release(p)
 		return
 	}
 	r := c.table.Lookup(p.Dst)
@@ -645,6 +733,7 @@ func (c *Core) handleData(p *pkt.Packet, from pkt.NodeID) {
 		c.Ctr.DropNoRoute++
 		c.tracef("data-drop", "no route to %v (flow=%d seq=%d)", p.Dst, p.FlowID, p.Seq)
 		c.sendRERR([]pkt.UnreachableDest{{Node: p.Dst, Seq: c.staleSeq(p.Dst)}})
+		c.Env.Pool.Release(p)
 		return
 	}
 	p.TTL--
@@ -662,8 +751,16 @@ func (c *Core) staleSeq(dst pkt.NodeID) uint32 {
 }
 
 // MacTxDone implements mac.Upper: unicast failures signal link breakage.
+// This is also where the MAC hands back ownership of every packet this
+// node gave it, so all paths but re-buffering release p. A crashed node
+// leaves the packet to the GC (it may still be on the air — the same
+// trade the MAC makes with its frames).
 func (c *Core) MacTxDone(p *pkt.Packet, dst pkt.NodeID, ok bool) {
-	if c.down || ok || dst == pkt.Broadcast {
+	if c.down {
+		return
+	}
+	if ok || dst == pkt.Broadcast {
+		c.Env.Pool.Release(p)
 		return
 	}
 	// The link to dst is dead: purge routes through it and tell upstream.
@@ -671,13 +768,14 @@ func (c *Core) MacTxDone(p *pkt.Packet, dst pkt.NodeID, ok bool) {
 	c.nbrs.Remove(dst)
 	c.tracef("link-fail", "neighbour=%v routesLost=%d kind=%v", dst, len(lost), p.Kind)
 
-	if p.Kind == pkt.Data {
-		if p.Src == c.Env.ID {
-			// We originated it: try to re-discover rather than lose it.
-			c.bufferAndDiscover(p)
-		} else {
+	if p.Kind == pkt.Data && p.Src == c.Env.ID {
+		// We originated it: try to re-discover rather than lose it.
+		c.bufferAndDiscover(p)
+	} else {
+		if p.Kind == pkt.Data {
 			c.Ctr.DropLinkFail++
 		}
+		c.Env.Pool.Release(p)
 	}
 	if len(lost) > 0 {
 		c.sendRERR(lost)

@@ -55,7 +55,10 @@ func (p *Policy) OnRREQ(c *routing.Core, pk *pkt.Packet, from pkt.NodeID, first 
 		}
 		return
 	}
-	a := &assessment{count: 1, p: pk}
+	// pk is only borrowed for the duration of this call (the sender's
+	// pool reclaims it after transmission), so the assessment keeps its
+	// own clone across the RAD and releases it once resolved.
+	a := &assessment{count: 1, p: c.Env.Pool.Clone(pk)}
 	p.pending[k] = a
 	rad := des.Time(c.Env.Rng.Intn(int(p.params.RADMax) + 1))
 	c.Env.Sim.Schedule(rad, func() {
@@ -65,6 +68,7 @@ func (p *Policy) OnRREQ(c *routing.Core, pk *pkt.Packet, from pkt.NodeID, first 
 		} else {
 			c.SuppressRREQ()
 		}
+		c.Env.Pool.Release(a.p)
 	})
 }
 

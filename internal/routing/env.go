@@ -37,6 +37,10 @@ type Env struct {
 	// Trace, when non-nil, receives structured routing events (zero cost
 	// when nil).
 	Trace trace.Sink
+	// Pool, when non-nil, recycles this node's packets (see pkt.Pool for
+	// the ownership discipline). All pkt.Pool methods are nil-safe, so a
+	// pool-less Env behaves identically, just with GC churn.
+	Pool *pkt.Pool
 }
 
 // RREQPolicy is the per-scheme RREQ handling hook.
@@ -47,7 +51,11 @@ type RREQPolicy interface {
 	// that is neither its origin nor its target, after reverse-route
 	// bookkeeping. first is true for the first copy of this flood seen
 	// here. The policy forwards by calling c.ForwardRREQ (immediately or
-	// from a later event it schedules).
+	// from a later event it schedules). p is only borrowed for the
+	// duration of the call — the sender's pool reclaims it after the
+	// transmission — so a policy that defers its decision must keep its
+	// own c.Env.Pool.Clone and release it once resolved (ForwardRREQ
+	// itself clones, so synchronous forwarding needs nothing).
 	OnRREQ(c *Core, p *pkt.Packet, from pkt.NodeID, first bool)
 	// CostIncrement is this node's additive contribution to the RREQ's
 	// accumulated path cost when it forwards (1 for load-blind schemes).

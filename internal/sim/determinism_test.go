@@ -105,6 +105,51 @@ func TestGoldenIndexedMatchesReference(t *testing.T) {
 	}
 }
 
+// TestGoldenCalendarMatchesReferenceQueue is the determinism contract of
+// the DES kernel overhaul: the calendar-queue event list must not change
+// a single bit of any run's outcome relative to the retained binary-heap
+// reference, including on a warm engine that alternates between the two
+// orderings across resets.
+func TestGoldenCalendarMatchesReferenceQueue(t *testing.T) {
+	for name, mut := range goldenConfigs() {
+		for _, scheme := range AllSchemes() {
+			t.Run(fmt.Sprintf("%s/%s", name, scheme), func(t *testing.T) {
+				sc := quickScenario().WithScheme(scheme)
+				sc.Warmup = 2 * des.Second
+				sc.Measure = 8 * des.Second
+				mut(&sc)
+				ref := sc
+				ref.ReferenceQueue = true
+
+				cal, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				heap, err := Run(ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cal != heap {
+					t.Errorf("calendar queue diverges from reference heap:\n  cal  %+v\n  heap %+v", cal, heap)
+				}
+
+				// Warm engine flip-flopping between orderings: each reset
+				// must leave no trace of the previous run's event list.
+				eng := NewEngine()
+				for i, s := range []Scenario{sc, ref, sc} {
+					r, err := eng.Run(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if r != cal {
+						t.Errorf("warm run %d (refQueue=%v) diverged:\n  got  %+v\n  want %+v", i, s.ReferenceQueue, r, cal)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestGoldenDiscoveryMatchesReference extends the contract to the
 // discovery probe runner used by F-R1/F-R2.
 func TestGoldenDiscoveryMatchesReference(t *testing.T) {

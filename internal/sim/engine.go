@@ -125,6 +125,7 @@ func (e *Engine) prepare(sc Scenario, master *rng.Source) (*topo.Topology, error
 	spec := sc.agentSpec()
 	if !e.built || len(e.nodes) != len(positions) || e.radioParams != sc.Radio {
 		e.simk = des.NewSim()
+		e.simk.SetReference(sc.ReferenceQueue)
 		e.medium = radio.NewMedium(e.simk, sc.propagation())
 		e.medium.SetReference(sc.ReferenceRadio)
 		e.nodes = node.BuildNetwork(e.simk, e.medium, positions, sc.Radio, sc.Mac,
@@ -137,6 +138,7 @@ func (e *Engine) prepare(sc Scenario, master *rng.Source) (*topo.Topology, error
 		return tp, nil
 	}
 	e.simk.Reset()
+	e.simk.SetReference(sc.ReferenceQueue)
 	e.medium.Reset(sc.propagation(), positions)
 	e.medium.SetReference(sc.ReferenceRadio)
 	e.medium.SetImpairment(sc.Faults.Link, sc.Seed)

@@ -99,6 +99,33 @@ func RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collector) (Result, 
 	return NewEngine().RunObserved(sc, sink, col)
 }
 
+// sampler is the flight recorder's typed-event handler: one read-only
+// snapshot of every node's cross-layer state per tick. A struct (rather
+// than a closure) so the pre-scheduled event train rides the kernel's
+// zero-allocation typed path.
+type sampler struct {
+	e   *Engine
+	col *metrics.Collector
+}
+
+// HandleEvent implements des.Handler: take one sample tick.
+func (s *sampler) HandleEvent(int32, uint32) {
+	e, col := s.e, s.col
+	col.BeginTick(e.simk.Now())
+	for i, n := range e.nodes {
+		ls := n.Mac.LoadStats()
+		col.Set(i, metrics.Sample{
+			Queue:    n.Mac.QueueLen(),
+			QueueOcc: ls.QueueOcc,
+			BusyFrac: ls.BusyFrac,
+			Load:     ls.Load,
+			Routes:   n.Agent.TableSize(),
+			DupCache: n.Agent.DupCacheLen(),
+			Up:       !n.Radio.Down(),
+		})
+	}
+}
+
 // scheduleSampler pre-schedules one read-only sampling event per
 // SampleInterval over [0, end] (end inclusive: RunUntil executes events
 // at exactly the horizon). Scheduling the whole train up front keeps the
@@ -109,23 +136,9 @@ func (e *Engine) scheduleSampler(col *metrics.Collector, end des.Time) {
 	if interval <= 0 {
 		return
 	}
-	sample := func() {
-		col.BeginTick(e.simk.Now())
-		for i, n := range e.nodes {
-			ls := n.Mac.LoadStats()
-			col.Set(i, metrics.Sample{
-				Queue:    n.Mac.QueueLen(),
-				QueueOcc: ls.QueueOcc,
-				BusyFrac: ls.BusyFrac,
-				Load:     ls.Load,
-				Routes:   n.Agent.TableSize(),
-				DupCache: n.Agent.DupCacheLen(),
-				Up:       !n.Radio.Down(),
-			})
-		}
-	}
+	s := &sampler{e: e, col: col}
 	for t := des.Time(0); t <= end; t += interval {
-		e.simk.At(t, sample)
+		e.simk.AtCall(t, s, 0, 0)
 	}
 }
 
@@ -201,6 +214,14 @@ func (e *Engine) foldCounters(col *metrics.Collector, warm snapshot, warmRadio r
 
 	col.Add("fault/crash-events", crashEvents)
 	col.Add("fault/recover-events", recoverEvents)
+
+	// Pool high-water marks. Only the deterministic peaks are folded:
+	// pending events and concurrent transmissions are pure functions of
+	// the event sequence (bit-identical across fast/reference paths and
+	// warm/cold engines), whereas free-list lengths depend on what a warm
+	// pool carried over and would break the golden counter contract.
+	col.Add("des/pending-hw", uint64(e.simk.PendingHighWater()))
+	col.Add("radio/tx-inflight-hw", uint64(e.medium.TxInFlightHW()))
 }
 
 func addRoutingCounters(dst *routing.Counters, src routing.Counters) {

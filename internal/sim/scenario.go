@@ -135,6 +135,13 @@ type Scenario struct {
 	// Results are bit-identical either way; this only trades speed for
 	// simplicity.
 	ReferenceRadio bool
+
+	// ReferenceQueue forces the DES kernel's retained binary-heap event
+	// list instead of the production calendar queue — the same
+	// trade-speed-for-simplicity reference switch as ReferenceRadio.
+	// Results are bit-identical either way: both orderings implement the
+	// identical (time, insertion-sequence) total order.
+	ReferenceQueue bool
 }
 
 // DefaultScenario returns Table R-1's operating point: a 7×7 grid over

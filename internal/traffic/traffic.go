@@ -121,7 +121,7 @@ func (m *Manager) AddFlow(f Flow, rngSrc *rng.Source) {
 			return
 		}
 		m.uid++
-		p := pkt.NewData(f.Src, f.Dst, f.Payload, f.ID, seq, now, m.ttl)
+		p := src.Agent.Env.Pool.Data(f.Src, f.Dst, f.Payload, f.ID, seq, now, m.ttl)
 		p.UID = m.uid
 		seq++
 		if now >= m.measureFrom {
@@ -177,7 +177,7 @@ func (m *Manager) AddProbe(id int, src, dst pkt.NodeID, payload int, at des.Time
 	srcNode := m.nodes[src]
 	m.sim.At(at, func() {
 		m.uid++
-		p := pkt.NewData(src, dst, payload, id, 0, m.sim.Now(), m.ttl)
+		p := srcNode.Agent.Env.Pool.Data(src, dst, payload, id, 0, m.sim.Now(), m.ttl)
 		p.UID = m.uid
 		if m.sim.Now() >= m.measureFrom {
 			fs.Sent++
