@@ -8,7 +8,7 @@ GO ?= go
 # the runner-level replication sweep.
 BENCH_GATE := BenchmarkSimulatorThroughput|BenchmarkReplicationSweep
 
-.PHONY: verify build test race bench-smoke bench bench-compare bench-baseline fuzz lint
+.PHONY: verify build test race bench-smoke bench bench-compare bench-baseline fuzz lint profile-largen
 
 verify: build test race bench-smoke
 
@@ -35,15 +35,30 @@ race:
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x .
 
-# Coverage-guided fuzzing: the wire codec and the DES differential queue
-# oracle (go test allows one -fuzz pattern per invocation, hence one run
-# per target). FUZZTIME=5m for a deep run.
+# Coverage-guided fuzzing: the wire codec, the DES differential queue
+# oracle and the radio-path differential oracle (go test allows one -fuzz
+# pattern per invocation, hence one run per target). FUZZTIME=5m for a
+# deep run.
 FUZZTIME ?= 10s
 
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/pkt
 	$(GO) test -run NONE -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/pkt
 	$(GO) test -run NONE -fuzz FuzzQueueDifferential -fuzztime $(FUZZTIME) ./internal/des
+	$(GO) test -run NONE -fuzz FuzzMediumDifferential -fuzztime $(FUZZTIME) ./internal/radio
+
+# CPU + heap profiles of the radio-bound 225-node regime (the
+# BenchmarkSimulatorThroughputLargeN scenario) via cmd/meshsim and
+# internal/prof. Inspect with `go tool pprof <binary-less profile>`.
+PROFILE_DIR ?= profiles
+
+profile-largen:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/meshsim -rows 15 -cols 15 -area 2142.857 -flows 20 \
+		-warmup 10s -measure 10s -session 10s \
+		-cpuprofile $(PROFILE_DIR)/largen-cpu.pprof \
+		-memprofile $(PROFILE_DIR)/largen-mem.pprof
+	@ls -l $(PROFILE_DIR)
 
 # Full throughput numbers (compare against BENCH_PR1.json / BENCH_PR2.json).
 bench:

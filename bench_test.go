@@ -266,6 +266,51 @@ func BenchmarkSimulatorThroughputLargeN(b *testing.B) {
 	benchThroughput(b, sc)
 }
 
+// BenchmarkSimulatorThroughputAudibleSets is the same-process A/B for the
+// radio hot path: the memoised audible-set default against the legacy
+// per-transmission indexed scan and the exhaustive reference scan, on both
+// the default 49-node scenario and the radio-bound 225-node grid. All
+// tiers run inside one benchmark process, so their ratios are immune to
+// the up-to-2× wall-clock drift between separate runs on this machine.
+// The acceptance ratio for PR 7 is largen/memo vs largen/reference.
+func BenchmarkSimulatorThroughputAudibleSets(b *testing.B) {
+	scenarios := []struct {
+		name string
+		sc   sim.Scenario
+	}{
+		{"default", func() sim.Scenario {
+			sc := sim.DefaultScenario()
+			sc.Measure = 30 * des.Second
+			sc.SessionTime = 10 * des.Second
+			return sc
+		}()},
+		{"largen", func() sim.Scenario {
+			sc := sim.DefaultScenario()
+			sc.Rows, sc.Cols = 15, 15
+			sc.AreaM = 15 * (1000.0 / 7)
+			sc.Flows = 20
+			sc.Measure = 10 * des.Second
+			sc.SessionTime = 10 * des.Second
+			return sc
+		}()},
+	}
+	for _, s := range scenarios {
+		b.Run(s.name+"/memo", func(b *testing.B) {
+			benchThroughput(b, s.sc)
+		})
+		b.Run(s.name+"/legacy", func(b *testing.B) {
+			sc := s.sc
+			sc.LegacyRadio = true
+			benchThroughput(b, sc)
+		})
+		b.Run(s.name+"/reference", func(b *testing.B) {
+			sc := s.sc
+			sc.ReferenceRadio = true
+			benchThroughput(b, sc)
+		})
+	}
+}
+
 // BenchmarkDESChurn measures the DES kernel alone in the hold model: a
 // steady population of pending events where every firing schedules its
 // replacement. Sub-benchmarks sweep the population size to expose how the

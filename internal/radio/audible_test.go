@@ -1,0 +1,246 @@
+package radio
+
+import (
+	"reflect"
+	"testing"
+
+	"clnlr/internal/des"
+	"clnlr/internal/geom"
+)
+
+// mediumTier selects which transmit path a differential run exercises.
+type mediumTier int
+
+const (
+	tierMemo      mediumTier = iota // audible-set memoisation (default)
+	tierLegacy                      // per-transmission indexed scan
+	tierReference                   // exhaustive reference
+)
+
+// mediumOp is one step of a differential schedule. Illegal combinations
+// (transmit while transmitting or down, retune while transmitting) are
+// skipped at execution time based on live radio state; because every tier
+// is bit-identical, the guards resolve identically on each medium.
+type mediumOp struct {
+	kind  int // 0 transmit, 1 SetPos, 2 SetChannel, 3 SetDown, 4 Attach
+	radio int
+	arg   int
+}
+
+// opStride spaces scheduled ops so 1 ms transmissions overlap each other
+// and the mutation ops land mid-flight.
+const opStride = 250 * des.Microsecond
+
+// diffBed builds the fixed 4×3 / 200 m two-ray deployment every
+// differential test runs on. Dense enough that most radios interfere.
+func diffBed(tier mediumTier) (*des.Sim, *Medium, []*Radio, []*recorder) {
+	positions := make([]geom.Point, 0, 12)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			positions = append(positions, geom.Point{X: float64(x) * 200, Y: float64(y) * 200})
+		}
+	}
+	sim, m, radios, recs := testbed(DefaultParams(), positions...)
+	switch tier {
+	case tierLegacy:
+		m.SetAudibleMemo(false)
+	case tierReference:
+		m.SetReference(true)
+	}
+	return sim, m, radios, recs
+}
+
+// runOps replays ops on a diffBed medium of the given tier and returns
+// the medium and all listener logs (base radios plus any attached extras,
+// in attach order).
+func runOps(tier mediumTier, ops []mediumOp) (*Medium, []*recorder) {
+	sim, m, radios, recs := diffBed(tier)
+	for i, op := range ops {
+		op := op
+		sim.At(des.Time(i+1)*opStride, func() {
+			n := m.NumRadios()
+			if op.kind == 4 {
+				// Attach a newcomer mid-run at a spot derived from arg.
+				p := geom.Point{X: float64(op.arg%5) * 170, Y: 430 + float64(op.arg%3)*90}
+				r := m.Attach(p, DefaultParams())
+				rec := &recorder{}
+				r.SetListener(rec)
+				radios = append(radios, r)
+				recs = append(recs, rec)
+				return
+			}
+			r := radios[op.radio%n]
+			switch op.kind {
+			case 0:
+				if r.Transmitting() || r.Down() {
+					return
+				}
+				dur := des.Millisecond + des.Time(op.arg%7)*100*des.Microsecond
+				scale := 1 + float64(op.arg%3)
+				r.TransmitRated(r.ID()*1000+i, 256, dur, scale)
+			case 1:
+				r.SetPos(geom.Point{
+					X: float64((op.arg * 73) % 900),
+					Y: float64((op.arg * 131) % 700),
+				})
+			case 2:
+				if r.Transmitting() {
+					return
+				}
+				r.SetChannel(op.arg % 2)
+			case 3:
+				r.SetDown(op.arg%2 == 0)
+			}
+		})
+	}
+	sim.Run()
+	return m, recs
+}
+
+// compareTiers replays ops on all three tiers and fails the test unless
+// every listener log and validation counter is bit-identical.
+func compareTiers(t *testing.T, ops []mediumOp) (memo *Medium) {
+	t.Helper()
+	memo, memoRecs := runOps(tierMemo, ops)
+	legacy, legacyRecs := runOps(tierLegacy, ops)
+	ref, refRecs := runOps(tierReference, ops)
+	for name, got := range map[string][]*recorder{"legacy": legacyRecs, "reference": refRecs} {
+		if len(got) != len(memoRecs) {
+			t.Fatalf("%s tier attached %d radios, memo %d", name, len(got), len(memoRecs))
+		}
+		for i := range memoRecs {
+			if !reflect.DeepEqual(memoRecs[i], got[i]) {
+				t.Fatalf("radio %d logs diverge (memo vs %s):\n  memo %+v\n  %s  %+v",
+					i, name, memoRecs[i], name, got[i])
+			}
+		}
+	}
+	for name, other := range map[string]*Medium{"legacy": legacy, "reference": ref} {
+		if memo.Transmissions != other.Transmissions ||
+			memo.Deliveries != other.Deliveries ||
+			memo.Corruptions != other.Corruptions ||
+			memo.TxInFlightHW() != other.TxInFlightHW() {
+			t.Fatalf("counters diverge (memo vs %s): memo tx=%d del=%d cor=%d hw=%d; %s tx=%d del=%d cor=%d hw=%d",
+				name, memo.Transmissions, memo.Deliveries, memo.Corruptions, memo.TxInFlightHW(),
+				name, other.Transmissions, other.Deliveries, other.Corruptions, other.TxInFlightHW())
+		}
+	}
+	return memo
+}
+
+// TestMobilityInvalidationTorture interleaves every invalidation source —
+// motion, retunes, crash/recover, mid-run attach — with overlapping
+// rated transmissions from all over the deployment and requires the
+// memoised, legacy and reference paths to observe bit-identical event
+// logs and counters.
+func TestMobilityInvalidationTorture(t *testing.T) {
+	var ops []mediumOp
+	for round := 0; round < 30; round++ {
+		for r := 0; r < 12; r += 3 {
+			ops = append(ops, mediumOp{kind: 0, radio: r + round%3, arg: round + r})
+		}
+		switch round % 5 {
+		case 0:
+			ops = append(ops, mediumOp{kind: 1, radio: round, arg: round * 37})
+		case 1:
+			ops = append(ops, mediumOp{kind: 2, radio: round, arg: round})
+		case 2:
+			ops = append(ops, mediumOp{kind: 3, radio: round, arg: round})
+			ops = append(ops, mediumOp{kind: 3, radio: round + 1, arg: round + 1})
+		case 3:
+			ops = append(ops, mediumOp{kind: 4, radio: 0, arg: round})
+		case 4:
+			// Quiet round: memoised sets must be reused, not rebuilt.
+		}
+	}
+	memo := compareTiers(t, ops)
+	if memo.AudibleRebuilds() == 0 {
+		t.Fatal("torture run never built an audible set — memoisation was not exercised")
+	}
+	if memo.Transmissions == 0 || memo.Deliveries == 0 || memo.Corruptions == 0 {
+		t.Fatalf("torture run too tame: tx=%d del=%d cor=%d — thresholds not exercised",
+			memo.Transmissions, memo.Deliveries, memo.Corruptions)
+	}
+}
+
+// TestAudibleSetsMemoise pins the memoisation effectiveness contract:
+// a steady-state schedule builds each transmitter's set exactly once,
+// crash/recover does not invalidate, and any epoch bump (SetPos,
+// SetChannel, Attach, Reset) rebuilds lazily on next transmit.
+func TestAudibleSetsMemoise(t *testing.T) {
+	sim, m, radios, _ := diffBed(tierMemo)
+	tx := func(at des.Time, r *Radio) {
+		sim.At(at, func() { r.Transmit("x", 100, des.Millisecond) })
+	}
+	for i := 0; i < 10; i++ {
+		tx(des.Time(i)*2*des.Millisecond, radios[0])
+		tx(des.Time(i)*2*des.Millisecond, radios[5])
+	}
+	sim.Run()
+	if got := m.AudibleRebuilds(); got != 2 {
+		t.Fatalf("steady state rebuilt %d sets, want 2 (one per transmitter)", got)
+	}
+
+	// Crash/recover: no epoch bump, no rebuild.
+	sim.At(sim.Now()+des.Millisecond, func() { radios[3].SetDown(true) })
+	sim.At(sim.Now()+2*des.Millisecond, func() { radios[3].SetDown(false) })
+	tx(sim.Now()+3*des.Millisecond, radios[0])
+	sim.Run()
+	if got := m.AudibleRebuilds(); got != 2 {
+		t.Fatalf("crash/recover invalidated audible sets: %d rebuilds, want 2", got)
+	}
+
+	// Motion bumps the epoch: the next transmit from each radio rebuilds.
+	sim.At(sim.Now()+des.Millisecond, func() { radios[7].SetPos(geom.Point{X: 55, Y: 55}) })
+	tx(sim.Now()+2*des.Millisecond, radios[0])
+	tx(sim.Now()+5*des.Millisecond, radios[0]) // second transmit reuses
+	sim.Run()
+	if got := m.AudibleRebuilds(); got != 3 {
+		t.Fatalf("after SetPos: %d rebuilds, want 3", got)
+	}
+
+	// Reset restarts the diagnostic and invalidates everything.
+	positions := make([]geom.Point, m.NumRadios())
+	for i, r := range radios {
+		positions[i] = r.Pos()
+	}
+	m.Reset(NewTwoRay(914e6, 1.5, 1.5), positions)
+	if got := m.AudibleRebuilds(); got != 0 {
+		t.Fatalf("AudibleRebuilds %d after Reset, want 0", got)
+	}
+	tx(sim.Now()+des.Millisecond, radios[0])
+	sim.Run()
+	if got := m.AudibleRebuilds(); got != 1 {
+		t.Fatalf("post-Reset transmit rebuilt %d sets, want 1", got)
+	}
+}
+
+// TestAudibleSetExcludesWrongChannelAndWeak checks set membership directly:
+// channel partitioning, the tracking floor, and ID-sorted order.
+func TestAudibleSetExcludesWrongChannelAndWeak(t *testing.T) {
+	sim, m, radios, _ := testbed(DefaultParams(),
+		geom.Point{X: 0},     // transmitter
+		geom.Point{X: 200},   // audible, same channel
+		geom.Point{X: 400},   // audible (CS range), same channel
+		geom.Point{X: 150},   // other channel → excluded
+		geom.Point{X: 20000}) // below tracking floor → excluded
+	radios[3].SetChannel(4)
+	sim.At(0, func() { radios[0].Transmit("x", 100, des.Millisecond) })
+	sim.Run()
+	a := &m.aud[0]
+	if a.epoch != m.audEpoch {
+		t.Fatal("audible set not built by transmit")
+	}
+	want := []int32{1, 2}
+	if !reflect.DeepEqual(a.rxID, want) {
+		t.Fatalf("audible set %v, want %v", a.rxID, want)
+	}
+	for i, rid := range a.rxID {
+		if p := m.RxPowerBetween(0, int(rid)); p != a.power[i] {
+			t.Fatalf("memoised power for rx %d is %g, direct %g", rid, a.power[i], p)
+		}
+		if ok := a.power[i] >= DefaultParams().RxThreshW; ok != a.refOK[i] {
+			t.Fatalf("refOK[%d]=%v inconsistent with power %g", i, a.refOK[i], a.power[i])
+		}
+	}
+}

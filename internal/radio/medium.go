@@ -61,20 +61,19 @@ type Listener interface {
 // DES event addressed to the Medium carrying the source radio's ID — a
 // radio has at most one transmission in flight, so the ID identifies it.
 type transmission struct {
-	src     *Radio
+	src     int32 // source radio ID
 	payload any
 	bytes   int
-	end     des.Time
 	// snrScale scales the receiver's sensitivity and capture thresholds
 	// for this frame: higher-rate modulations (snrScale > 1) need
 	// proportionally more signal to decode, shrinking their range.
 	snrScale float64
 	// rxPower[i] is the power this transmission contributes at the i-th
 	// entry of touched (parallel slices; small, so slices beat maps).
-	touched []*Radio
+	touched []int32
 	rxPower []float64
 	// liveAt[i] is the current index of this transmission in
-	// touched[i].live, kept in sync by arrivalEnd's swap-delete so
+	// lives[touched[i]], kept in sync by arrivalEnd's swap-delete so
 	// removal is O(1) instead of a scan (receivers in a flood can hold
 	// dozens of concurrent arrivals).
 	liveAt []int32
@@ -106,33 +105,33 @@ type liveArrival struct {
 	ti int32
 }
 
-// Radio is a node's attachment to the Medium.
-type Radio struct {
-	m        *Medium
-	id       int
-	pos      geom.Point
-	cell     gridKey // spatial-index bucket (meaningful iff m.grid != nil)
-	channel  int
-	params   Params
-	listener Listener
+// audibleSet is one transmitter's memoised receiver list: every radio that
+// can hear it above the tracking floor on its channel, as flat parallel
+// slices sorted by receiver ID (the order deterministic replay requires).
+// refOK[i] precomputes the reference-rate decode test power[i] >=
+// RxThreshW of the receiver — bit-equal to the live comparison whenever
+// snrScale == 1, because multiplying the threshold by exactly 1.0 is the
+// identity on float64. Sets are built lazily on first transmit and
+// invalidated wholesale by bumping Medium.audEpoch (SetPos, SetChannel,
+// Attach, Reset); crash state is deliberately NOT baked in — down radios
+// stay members and are skipped via the dense downs slice, so churn never
+// forces an O(N²) rebuild storm.
+type audibleSet struct {
+	epoch uint64 // Medium.audEpoch the set was built at; 0 = never built
+	rxID  []int32
+	power []float64
+	refOK []bool
+}
 
-	transmitting bool
-	current      arrival // the frame being received; current.t == nil if none
-	// tx is the radio's own transmission in flight (nil otherwise); kept
-	// so a crash mid-transmission can corrupt its receivers.
-	tx *transmission
-	// down marks a crashed node: the radio neither starts receptions nor
-	// surfaces carrier transitions, and transmissions skip it entirely.
-	// In-flight energy still propagates (the crash does not rewrite
-	// frames already on the air).
-	down bool
-	// energy is the aggregate power of all ongoing foreign arrivals.
-	energy float64
-	// live tracks ongoing foreign transmissions audible here, to rebuild
-	// energy without floating-point drift. Concurrent arrivals are few,
-	// so a linear-scanned slice beats a map.
-	live []liveArrival
-	busy bool // last carrier state notified
+// Radio is a node's attachment to the Medium. It is a thin handle: all
+// dynamic state (channel, down, transmitting, energy, reception progress)
+// lives in the Medium's dense per-ID slices so the receiver hot path walks
+// contiguous arrays instead of pointer-chasing per-radio objects.
+type Radio struct {
+	m    *Medium
+	id   int
+	pos  geom.Point
+	cell gridKey // spatial-index bucket (meaningful iff m.grid != nil)
 }
 
 // ID returns the radio's dense index within its medium.
@@ -145,14 +144,16 @@ func (r *Radio) Pos() geom.Point { return r.pos }
 // subsequent transmissions; frames already in flight keep the powers
 // computed at their start — the standard packet-level approximation, exact
 // for any realistic speed (a frame lasts ~2 ms; at 20 m/s that is 4 cm of
-// motion). Moving invalidates the radio's cached link gains and re-buckets
-// it in the spatial index.
+// motion). Moving invalidates the radio's cached link gains and every
+// memoised audible set (the mover may appear in any of them), and
+// re-buckets it in the spatial index.
 func (r *Radio) SetPos(p geom.Point) {
 	if p == r.pos {
 		return
 	}
 	r.pos = p
 	r.m.invalidateGains(r)
+	r.m.audEpoch++
 	if r.m.grid != nil {
 		r.m.grid.update(r)
 	}
@@ -161,30 +162,44 @@ func (r *Radio) SetPos(p geom.Point) {
 // Channel returns the radio's frequency channel (0 by default). Radios on
 // different channels neither decode nor interfere with each other —
 // orthogonal channels in the 802.11 sense.
-func (r *Radio) Channel() int { return r.channel }
+func (r *Radio) Channel() int { return int(r.m.chans[r.id]) }
 
 // SetChannel retunes the radio. It takes effect for subsequent
 // transmissions and arrivals; frames already in flight complete under the
 // channel they started on. Retuning while transmitting is a programming
 // error. (Link gains are frequency-independent in these models, so the
-// gain cache survives a retune; the per-transmission channel filter is
-// always evaluated live.)
+// gain cache survives a retune; audible sets are channel-partitioned, so
+// a retune invalidates them via the epoch.)
 func (r *Radio) SetChannel(ch int) {
-	if r.transmitting {
+	m := r.m
+	if m.txing[r.id] {
 		panic(fmt.Sprintf("radio %d: SetChannel while transmitting", r.id))
 	}
-	r.channel = ch
+	if m.chans[r.id] == int32(ch) {
+		return
+	}
+	m.chans[r.id] = int32(ch)
+	m.audEpoch++
 }
 
 // Medium is the shared channel connecting all radios in one simulation.
 //
-// The transmit hot path is indexed and cached: a spatial cell grid
-// restricts the per-transmission scan to the audible neighbourhood (when
-// the propagation model bounds its range via Ranger), and per-pair link
-// gains are memoised for time-invariant models, invalidated by SetPos.
-// SetReference(true) disables both and restores the exhaustive
-// recompute-everything scan — it must produce bit-identical results and
-// exists as the validation baseline for determinism tests.
+// The transmit hot path is memoised and laid out struct-of-arrays: each
+// transmitter lazily precomputes its audible set — the flat, ID-sorted,
+// channel-partitioned list of (receiver, power, reference-rate decode
+// flag) above the tracking floor — so TransmitRated is a tight loop over
+// contiguous slices with no spatial query, no gain-cache probes and no
+// per-receiver propagation calls. Audible sets are invalidated by an
+// epoch counter bumped on any position change, retune, attach or reset.
+// Hot per-radio dynamic state (channel, down, transmitting, energy,
+// carrier, reception in progress) lives in dense per-ID slices on the
+// Medium, so the arrival loop never dereferences a *Radio.
+//
+// Two slower tiers are retained for validation and same-process A/B
+// benchmarking, all bit-identical by construction and by test:
+// SetAudibleMemo(false) keeps the PR 1 spatial index + link-gain cache
+// but rescans per transmission; SetReference(true) restores the exhaustive
+// recompute-everything scan.
 type Medium struct {
 	sim    *des.Sim
 	prop   Propagation
@@ -194,10 +209,35 @@ type Medium struct {
 	minTrackW float64
 
 	reference bool // exhaustive slow path for validation
+	memo      bool // audible-set memoisation (default on; needs static prop)
 
-	static bool      // prop is time-invariant → gains cacheable
+	static bool      // prop is time-invariant → gains/audible sets cacheable
 	gain   []float64 // gainN×gainN cached rx powers; NaN = not yet computed
 	gainN  int
+
+	// Dense per-radio state, indexed by radio ID (struct-of-arrays so the
+	// arrival hot loop touches contiguous memory only).
+	rfp       []Params  // immutable RF parameters, copied at Attach
+	chans     []int32   // current frequency channel
+	downs     []bool    // crashed (see SetDown)
+	txing     []bool    // own transmission in flight
+	busys     []bool    // last carrier state notified
+	energy    []float64 // aggregate power of ongoing foreign arrivals
+	current   []arrival // frame being received; current[i].t == nil if none
+	lives     [][]liveArrival
+	txOf      []*transmission // own transmission in flight (nil otherwise)
+	listeners []Listener
+	aud       []audibleSet
+
+	// audEpoch invalidates every memoised audible set at once: a set is
+	// valid iff its epoch matches. Bumped by SetPos, SetChannel, Attach
+	// and Reset. Crash/recover does not bump it — down filtering is done
+	// live against the dense downs slice.
+	audEpoch uint64
+	// audRebuilds counts audible-set (re)builds — a diagnostic for tests
+	// and profiling, never folded into golden-compared outputs (the
+	// reference path performs none).
+	audRebuilds uint64
 
 	gridDecided bool
 	grid        *cellGrid
@@ -214,7 +254,7 @@ type Medium struct {
 
 	// impair, when non-nil, is the per-link burst-loss process applied to
 	// otherwise-successful deliveries (fault injection). It is evaluated
-	// identically on the indexed and reference paths.
+	// identically on the memoised, indexed and reference paths.
 	impair *fault.LinkModel
 
 	// Counters for validation and benchmarks.
@@ -232,15 +272,31 @@ func NewMedium(sim *des.Sim, prop Propagation) *Medium {
 		prop:      prop,
 		minTrackW: 1e-14,
 		static:    ok && ti.TimeInvariant(),
+		memo:      true,
+		audEpoch:  1, // so a zero-valued audibleSet is never valid
 		txPoolCap: defaultTxPoolCap,
 	}
 }
 
 // SetReference toggles the exhaustive reference transmit path (full O(N)
-// receiver scan, no gain cache, no spatial index). It exists so tests can
-// prove the indexed path reproduces reference results bit-for-bit; it is
-// not meant for production runs.
+// receiver scan, no gain cache, no spatial index, no audible sets). It
+// exists so tests can prove the fast paths reproduce reference results
+// bit-for-bit; it is not meant for production runs.
 func (m *Medium) SetReference(on bool) { m.reference = on }
+
+// SetAudibleMemo toggles per-transmitter audible-set memoisation (on by
+// default). Off, the medium falls back to the per-transmission indexed
+// scan (spatial grid + link-gain cache) — the intermediate tier retained
+// for same-process A/B benchmarking and differential tests. Results are
+// bit-identical either way. Memoisation only ever engages for
+// time-invariant propagation models; fading models always rescan.
+func (m *Medium) SetAudibleMemo(on bool) { m.memo = on }
+
+// AudibleRebuilds returns how many audible sets have been (re)built — a
+// memoisation-effectiveness diagnostic (steady-state static runs build
+// each transmitter's set once; every SetPos/SetChannel/Attach/Reset
+// invalidates all of them).
+func (m *Medium) AudibleRebuilds() uint64 { return m.audRebuilds }
 
 // SetImpairment installs (or, when p is disabled, removes) the per-link
 // Gilbert–Elliott burst-loss process, keyed by the run seed. Call after
@@ -260,12 +316,13 @@ func (m *Medium) SetImpairment(p fault.LinkParams, seed uint64) {
 
 // Reset prepares the medium for a fresh run under a (possibly different)
 // propagation model while keeping the attached radios, the transmission
-// pool and the gain-cache backing array allocated. positions re-places the
-// radios and must cover exactly the attached set; listeners, parameters
-// and dense IDs survive. After Reset the medium behaves bit-identically to
-// a freshly built one: the gain cache is fully invalidated, the spatial
-// index is re-decided on the next transmission, and the validation
-// counters restart from zero.
+// pool, the gain-cache backing array and the audible-set storage
+// allocated. positions re-places the radios and must cover exactly the
+// attached set; listeners, parameters and dense IDs survive. After Reset
+// the medium behaves bit-identically to a freshly built one: the gain
+// cache and every audible set are fully invalidated, the spatial index is
+// re-decided on the next transmission, and the validation counters
+// (including the pool-drop counter) restart from zero.
 func (m *Medium) Reset(prop Propagation, positions []geom.Point) {
 	if len(positions) != len(m.radios) {
 		panic(fmt.Sprintf("radio: Reset with %d positions for %d radios",
@@ -280,24 +337,28 @@ func (m *Medium) Reset(prop Propagation, positions []geom.Point) {
 			m.gain[i] = nan
 		}
 	}
+	m.audEpoch++
 	m.gridDecided = false
 	m.grid = nil
 	m.impair = nil // reinstalled per run via SetImpairment
 	m.Transmissions, m.Deliveries, m.Corruptions, m.ImpairDrops = 0, 0, 0, 0
 	m.txInFlight, m.txInFlightHW = 0, 0
+	m.txPoolDrops = 0
+	m.audRebuilds = 0
 	for i, r := range m.radios {
 		r.pos = positions[i]
-		r.channel = 0
-		r.transmitting = false
-		r.current = arrival{}
-		r.tx = nil
-		r.down = false
-		r.energy = 0
-		for j := range r.live {
-			r.live[j] = liveArrival{}
+		m.chans[i] = 0
+		m.downs[i] = false
+		m.txing[i] = false
+		m.busys[i] = false
+		m.energy[i] = 0
+		m.current[i] = arrival{}
+		m.txOf[i] = nil
+		live := m.lives[i]
+		for j := range live {
+			live[j] = liveArrival{}
 		}
-		r.live = r.live[:0]
-		r.busy = false
+		m.lives[i] = live[:0]
 	}
 }
 
@@ -306,12 +367,23 @@ func (m *Medium) Reset(prop Propagation, positions []geom.Point) {
 // needs the radio and vice versa).
 func (m *Medium) Attach(pos geom.Point, params Params) *Radio {
 	r := &Radio{
-		m:      m,
-		id:     len(m.radios),
-		pos:    pos,
-		params: params,
+		m:   m,
+		id:  len(m.radios),
+		pos: pos,
 	}
 	m.radios = append(m.radios, r)
+	m.rfp = append(m.rfp, params)
+	m.chans = append(m.chans, 0)
+	m.downs = append(m.downs, false)
+	m.txing = append(m.txing, false)
+	m.busys = append(m.busys, false)
+	m.energy = append(m.energy, 0)
+	m.current = append(m.current, arrival{})
+	m.lives = append(m.lives, nil)
+	m.txOf = append(m.txOf, nil)
+	m.listeners = append(m.listeners, nil)
+	m.aud = append(m.aud, audibleSet{})
+	m.audEpoch++ // existing sets predate the newcomer
 	if m.grid != nil {
 		m.grid.insert(r)
 	}
@@ -319,7 +391,7 @@ func (m *Medium) Attach(pos geom.Point, params Params) *Radio {
 }
 
 // SetListener installs the upward callback interface.
-func (r *Radio) SetListener(l Listener) { r.listener = l }
+func (r *Radio) SetListener(l Listener) { r.m.listeners[r.id] = l }
 
 // NumRadios returns the number of attached radios.
 func (m *Medium) NumRadios() int { return len(m.radios) }
@@ -330,7 +402,7 @@ func (m *Medium) NumRadios() int { return len(m.radios) }
 // model call the uncached path would make.
 func (m *Medium) rxPower(tx, rx *Radio) float64 {
 	if !m.static || m.reference {
-		return m.prop.RxPower(tx.params.TxPowerW, tx.pos, rx.pos, m.sim.Now())
+		return m.prop.RxPower(m.rfp[tx.id].TxPowerW, tx.pos, rx.pos, m.sim.Now())
 	}
 	n := len(m.radios)
 	if m.gainN != n {
@@ -343,7 +415,7 @@ func (m *Medium) rxPower(tx, rx *Radio) float64 {
 	idx := tx.id*n + rx.id
 	p := m.gain[idx]
 	if p != p { // NaN: not yet computed for this pair
-		p = m.prop.RxPower(tx.params.TxPowerW, tx.pos, rx.pos, m.sim.Now())
+		p = m.prop.RxPower(m.rfp[tx.id].TxPowerW, tx.pos, rx.pos, m.sim.Now())
 		m.gain[idx] = p
 	}
 	return p
@@ -382,9 +454,9 @@ func (m *Medium) decideGrid() {
 		return
 	}
 	maxTx := 0.0
-	for _, r := range m.radios {
-		if r.params.TxPowerW > maxTx {
-			maxTx = r.params.TxPowerW
+	for i := range m.rfp {
+		if m.rfp[i].TxPowerW > maxTx {
+			maxTx = m.rfp[i].TxPowerW
 		}
 	}
 	rng := rg.MaxRange(maxTx, m.minTrackW)
@@ -412,7 +484,7 @@ func (m *Medium) decideGrid() {
 // this is the 3×3 cell neighbourhood; otherwise every radio. A grid query
 // takes ownership of the reusable buffer (m.candidates is cleared) so a
 // re-entrant transmission from a listener callback cannot clobber a scan
-// in progress; TransmitRated hands the buffer back when its loop is done.
+// in progress; callers hand the buffer back when their loop is done.
 func (m *Medium) receivers(r *Radio) []*Radio {
 	if !m.gridDecided {
 		m.decideGrid()
@@ -423,6 +495,49 @@ func (m *Medium) receivers(r *Radio) []*Radio {
 	buf := m.candidates
 	m.candidates = nil
 	return m.grid.query(r, buf[:0])
+}
+
+// audible returns r's memoised audible set, rebuilding it if any epoch
+// bump (position change, retune, attach, reset) has invalidated it.
+func (m *Medium) audible(r *Radio) *audibleSet {
+	a := &m.aud[r.id]
+	if a.epoch != m.audEpoch {
+		m.buildAudible(r, a)
+	}
+	return a
+}
+
+// buildAudible recomputes one transmitter's audible set: every other
+// radio on its channel receiving at or above the tracking floor, in
+// ascending ID order. Membership goes through the same spatial index and
+// gain cache as the per-transmission scan, so the powers are bit-exact
+// with what the scan would compute. Down radios are included — crash
+// state is filtered live at transmit time — so churn does not invalidate
+// sets.
+func (m *Medium) buildAudible(r *Radio, a *audibleSet) {
+	m.audRebuilds++
+	a.rxID = a.rxID[:0]
+	a.power = a.power[:0]
+	a.refOK = a.refOK[:0]
+	candidates := m.receivers(r)
+	ch := m.chans[r.id]
+	for _, rx := range candidates {
+		rid := rx.id
+		if rid == r.id || m.chans[rid] != ch {
+			continue
+		}
+		p := m.rxPower(r, rx)
+		if p < m.minTrackW {
+			continue
+		}
+		a.rxID = append(a.rxID, int32(rid))
+		a.power = append(a.power, p)
+		a.refOK = append(a.refOK, p >= m.rfp[rid].RxThreshW)
+	}
+	if m.grid != nil {
+		m.candidates = candidates // hand the query buffer back for reuse
+	}
+	a.epoch = m.audEpoch
 }
 
 // newTransmission takes a pooled transmission or allocates the pool's
@@ -441,11 +556,7 @@ func (m *Medium) newTransmission() *transmission {
 // collector when the pool is at capacity. Callers must guarantee no radio
 // still references it (finish clears every arrival first).
 func (m *Medium) releaseTransmission(t *transmission) {
-	t.src = nil
 	t.payload = nil
-	for i := range t.touched {
-		t.touched[i] = nil
-	}
 	t.touched = t.touched[:0]
 	t.rxPower = t.rxPower[:0]
 	t.liveAt = t.liveAt[:0]
@@ -488,7 +599,7 @@ func (m *Medium) HandleEvent(op int32, arg uint32) {
 	if op != opTxFinish {
 		panic(fmt.Sprintf("radio: unknown event op %d", op))
 	}
-	m.finish(m.radios[arg].tx)
+	m.finish(m.txOf[arg])
 }
 
 // RxPowerBetween exposes the propagation computation for topology
@@ -500,17 +611,17 @@ func (m *Medium) RxPowerBetween(from, to int) float64 {
 // InRange reports whether a frame from `from` is decodable at `to` in the
 // absence of interference (radios on different channels never are).
 func (m *Medium) InRange(from, to int) bool {
-	if m.radios[from].channel != m.radios[to].channel {
+	if m.chans[from] != m.chans[to] {
 		return false
 	}
-	return m.RxPowerBetween(from, to) >= m.radios[to].params.RxThreshW
+	return m.RxPowerBetween(from, to) >= m.rfp[to].RxThreshW
 }
 
 // Transmitting reports whether the radio is currently sending.
-func (r *Radio) Transmitting() bool { return r.transmitting }
+func (r *Radio) Transmitting() bool { return r.m.txing[r.id] }
 
 // Down reports whether the radio is crashed (see SetDown).
-func (r *Radio) Down() bool { return r.down }
+func (r *Radio) Down() bool { return r.m.downs[r.id] }
 
 // SetDown crashes (true) or recovers (false) the radio.
 //
@@ -518,36 +629,40 @@ func (r *Radio) Down() bool { return r.down }
 // own transmission: receivers locked onto it see a corrupted frame (the
 // remaining airtime carries junk — the energy stays on the air so carrier
 // sense and interference are unaffected, exactly what a dying transmitter
-// radiates). While down the radio is excluded from the candidate set of
-// every new transmission and surfaces no listener callbacks.
+// radiates). While down the radio is skipped by every new transmission
+// and surfaces no listener callbacks. Crash state is consulted live from
+// the dense downs slice, so SetDown never invalidates audible sets.
 //
 // Recovering re-admits the radio and pushes the current carrier state to
 // the listener, which the caller must have reset first (a power-cycled
 // MAC starts from idle and must learn that the channel is busy).
 func (r *Radio) SetDown(down bool) {
-	if r.down == down {
+	m := r.m
+	id := r.id
+	if m.downs[id] == down {
 		return
 	}
-	r.down = down
+	m.downs[id] = down
 	if down {
-		r.current = arrival{}
-		if r.tx != nil {
-			for _, rx := range r.tx.touched {
-				if rx.current.t == r.tx && !rx.current.corrupted {
-					rx.current.corrupted = true
-					r.m.Corruptions++
+		m.current[id] = arrival{}
+		if t := m.txOf[id]; t != nil {
+			for _, rx := range t.touched {
+				cur := &m.current[rx]
+				if cur.t == t && !cur.corrupted {
+					cur.corrupted = true
+					m.Corruptions++
 				}
 			}
 		}
 		return
 	}
-	if r.busy && r.listener != nil {
-		r.listener.RadioCarrier(true)
+	if m.busys[id] && m.listeners[id] != nil {
+		m.listeners[id].RadioCarrier(true)
 	}
 }
 
 // CarrierBusy reports the current carrier-sense state (excluding own tx).
-func (r *Radio) CarrierBusy() bool { return r.energy >= r.params.CsThreshW }
+func (r *Radio) CarrierBusy() bool { return r.m.energy[r.id] >= r.m.rfp[r.id].CsThreshW }
 
 // Transmit puts a frame of the given size on the air for duration at the
 // radio's reference modulation. The caller (MAC) is responsible for
@@ -563,8 +678,10 @@ func (r *Radio) Transmit(payload any, bytes int, duration des.Time) {
 // decodes over a correspondingly shorter range and is more fragile to
 // interference. snrScale 1 is the reference rate.
 func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScale float64) {
-	if r.transmitting {
-		panic(fmt.Sprintf("radio %d: Transmit while already transmitting", r.id))
+	m := r.m
+	id := r.id
+	if m.txing[id] {
+		panic(fmt.Sprintf("radio %d: Transmit while already transmitting", id))
 	}
 	if duration <= 0 {
 		panic("radio: non-positive transmission duration")
@@ -572,153 +689,186 @@ func (r *Radio) TransmitRated(payload any, bytes int, duration des.Time, snrScal
 	if snrScale < 1 {
 		snrScale = 1
 	}
-	if r.down {
-		panic(fmt.Sprintf("radio %d: Transmit while down", r.id))
+	if m.downs[id] {
+		panic(fmt.Sprintf("radio %d: Transmit while down", id))
 	}
-	m := r.m
 	m.Transmissions++
-	r.transmitting = true
+	m.txing[id] = true
 	// Transmitting corrupts any reception in progress (half-duplex).
-	if r.current.t != nil {
-		r.current.corrupted = true
+	if m.current[id].t != nil {
+		m.current[id].corrupted = true
 	}
 
 	t := m.newTransmission()
-	t.src = r
+	t.src = int32(id)
 	t.payload = payload
 	t.bytes = bytes
-	t.end = m.sim.Now() + duration
 	t.snrScale = snrScale
-	r.tx = t
+	m.txOf[id] = t
 
-	var candidates []*Radio
-	if m.reference {
-		candidates = m.radios
+	if m.memo && m.static && !m.reference {
+		// Memoised hot path: one contiguous pass over the precomputed
+		// audible set; only the crash flag is consulted live.
+		a := m.audible(r)
+		rxIDs, pows, refOK := a.rxID, a.power, a.refOK
+		downs := m.downs
+		for i, rid := range rxIDs {
+			if downs[rid] {
+				continue
+			}
+			p := pows[i]
+			t.touched = append(t.touched, rid)
+			t.rxPower = append(t.rxPower, p)
+			t.liveAt = append(t.liveAt, int32(len(m.lives[rid])))
+			m.arrivalStart(int(rid), t, p, int32(len(t.touched)-1), refOK[i])
+		}
 	} else {
-		candidates = m.receivers(r)
-	}
-	for _, rx := range candidates {
-		if rx == r || rx.down || rx.channel != r.channel {
-			continue
+		// Indexed scan (memo off or fading channel) and exhaustive
+		// reference path: identical visit order and arithmetic, receiver
+		// powers computed per transmission.
+		var candidates []*Radio
+		if m.reference {
+			candidates = m.radios
+		} else {
+			candidates = m.receivers(r)
 		}
-		p := m.rxPower(r, rx)
-		if p < m.minTrackW {
-			continue
+		ch := m.chans[id]
+		for _, rx := range candidates {
+			rid := rx.id
+			if rid == id || m.downs[rid] || m.chans[rid] != ch {
+				continue
+			}
+			p := m.rxPower(r, rx)
+			if p < m.minTrackW {
+				continue
+			}
+			t.touched = append(t.touched, int32(rid))
+			t.rxPower = append(t.rxPower, p)
+			t.liveAt = append(t.liveAt, int32(len(m.lives[rid])))
+			m.arrivalStart(rid, t, p, int32(len(t.touched)-1), p >= m.rfp[rid].RxThreshW)
 		}
-		t.touched = append(t.touched, rx)
-		t.rxPower = append(t.rxPower, p)
-		t.liveAt = append(t.liveAt, int32(len(rx.live)))
-		rx.arrivalStart(t, p, int32(len(t.touched)-1))
-	}
-	if !m.reference && m.grid != nil {
-		m.candidates = candidates // hand the query buffer back for reuse
+		if !m.reference && m.grid != nil {
+			m.candidates = candidates // hand the query buffer back for reuse
+		}
 	}
 	m.txInFlight++
 	if m.txInFlight > m.txInFlightHW {
 		m.txInFlightHW = m.txInFlight
 	}
-	m.sim.ScheduleCall(duration, m, opTxFinish, uint32(r.id))
+	m.sim.ScheduleCall(duration, m, opTxFinish, uint32(id))
 }
 
 // finish ends transmission t: concludes reception at every touched radio,
 // releases the sender and recycles t.
 func (m *Medium) finish(t *transmission) {
 	for i, rx := range t.touched {
-		rx.arrivalEnd(t, t.rxPower[i], t.liveAt[i])
+		m.arrivalEnd(int(rx), t, t.rxPower[i], t.liveAt[i])
 	}
-	src := t.src
+	src := int(t.src)
 	payload := t.payload
 	m.releaseTransmission(t)
 	m.txInFlight--
-	src.transmitting = false
-	src.tx = nil
-	src.listener.RadioTxDone(payload)
+	m.txing[src] = false
+	m.txOf[src] = nil
+	m.listeners[src].RadioTxDone(payload)
 	// The channel may have become busy underneath the transmission.
-	src.updateCarrier()
+	m.updateCarrier(src)
 }
 
-// arrivalStart registers an incoming frame at this radio and decides
-// whether to lock onto it or treat it as interference. ti is this radio's
-// index in t.touched (the caller just appended it).
-func (r *Radio) arrivalStart(t *transmission, p float64, ti int32) {
-	r.live = append(r.live, liveArrival{t, p, ti})
-	r.energy += p
+// arrivalStart registers an incoming frame at receiver rx and decides
+// whether to lock onto it or treat it as interference. ti is rx's index
+// in t.touched (the caller just appended it). refOK is the precomputed
+// reference-rate decode test p >= RxThreshW — consulted only when
+// snrScale == 1, where it is bit-equal to the live comparison.
+func (m *Medium) arrivalStart(rx int, t *transmission, p float64, ti int32, refOK bool) {
+	m.lives[rx] = append(m.lives[rx], liveArrival{t, p, ti})
+	e := m.energy[rx] + p
+	m.energy[rx] = e
 
 	switch {
-	case r.transmitting:
+	case m.txing[rx]:
 		// Half-duplex: everything arriving during own tx is just energy.
-	case r.current.t == nil:
+	case m.current[rx].t == nil:
 		// Idle receiver: lock on if decodable with adequate SINR against
 		// the interference present at the preamble. Higher-rate frames
 		// (snrScale > 1) need proportionally more signal.
-		interf := r.energy - p
-		if p >= r.params.RxThreshW*t.snrScale &&
-			p >= r.params.CaptureRatio*t.snrScale*(r.params.NoiseW+interf) {
-			r.current = arrival{t: t, power: p}
+		prm := &m.rfp[rx]
+		ok := refOK
+		if t.snrScale != 1 {
+			ok = p >= prm.RxThreshW*t.snrScale
+		}
+		if ok {
+			interf := e - p
+			if p >= prm.CaptureRatio*t.snrScale*(prm.NoiseW+interf) {
+				m.current[rx] = arrival{t: t, power: p}
+			}
 		}
 	default:
 		// Mid-reception: the new frame is interference; if it destroys
 		// the SINR of the frame in progress, that frame is lost (latched
 		// — a momentary collision corrupts the whole frame).
-		cur := &r.current
-		interf := r.energy - cur.power
-		if cur.power < r.params.CaptureRatio*cur.t.snrScale*(r.params.NoiseW+interf) {
+		cur := &m.current[rx]
+		prm := &m.rfp[rx]
+		interf := e - cur.power
+		if cur.power < prm.CaptureRatio*cur.t.snrScale*(prm.NoiseW+interf) {
 			cur.corrupted = true
-			r.m.Corruptions++
+			m.Corruptions++
 		}
 	}
-	r.updateCarrier()
+	m.updateCarrier(rx)
 }
 
-// arrivalEnd removes the frame's energy and, if it was the locked frame,
-// delivers it upward. pos is the frame's index in r.live (tracked by the
-// transmission's liveAt, so no scan is needed).
-func (r *Radio) arrivalEnd(t *transmission, p float64, pos int32) {
-	last := len(r.live) - 1
+// arrivalEnd removes the frame's energy at receiver rx and, if it was the
+// locked frame, delivers it upward. pos is the frame's index in lives[rx]
+// (tracked by the transmission's liveAt, so no scan is needed).
+func (m *Medium) arrivalEnd(rx int, t *transmission, p float64, pos int32) {
+	live := m.lives[rx]
+	last := len(live) - 1
 	if int(pos) != last {
-		moved := r.live[last]
-		r.live[pos] = moved
+		moved := live[last]
+		live[pos] = moved
 		moved.t.liveAt[moved.ti] = pos
 	}
-	r.live[last] = liveArrival{}
-	r.live = r.live[:last]
-	if len(r.live) == 0 {
-		r.energy = 0 // clamp accumulated floating-point drift
+	live[last] = liveArrival{}
+	m.lives[rx] = live[:last]
+	if last == 0 {
+		m.energy[rx] = 0 // clamp accumulated floating-point drift
 	} else {
-		r.energy -= p
-		if r.energy < 0 {
-			r.energy = 0
+		e := m.energy[rx] - p
+		if e < 0 {
+			e = 0
 		}
+		m.energy[rx] = e
 	}
 
-	if r.current.t == t {
-		ok := !r.current.corrupted && !r.transmitting
-		r.current = arrival{}
-		if ok && r.m.impair != nil && !r.m.impair.Deliver(t.src.id, r.id, r.m.sim.Now()) {
+	if m.current[rx].t == t {
+		ok := !m.current[rx].corrupted && !m.txing[rx]
+		m.current[rx] = arrival{}
+		if ok && m.impair != nil && !m.impair.Deliver(int(t.src), rx, m.sim.Now()) {
 			ok = false
-			r.m.ImpairDrops++
+			m.ImpairDrops++
 		}
 		if ok {
-			r.m.Deliveries++
+			m.Deliveries++
 		}
-		r.listener.RadioReceive(t.payload, t.bytes, ok)
+		m.listeners[rx].RadioReceive(t.payload, t.bytes, ok)
 	}
-	r.updateCarrier()
+	m.updateCarrier(rx)
 }
 
 // updateCarrier pushes carrier-sense transitions to the listener. The
 // no-transition case is the overwhelmingly common one and must inline into
 // the arrival paths; the flip itself is outlined.
-func (r *Radio) updateCarrier() {
-	b := r.energy >= r.params.CsThreshW
-	if b != r.busy {
-		r.carrierFlip(b)
+func (m *Medium) updateCarrier(rx int) {
+	b := m.energy[rx] >= m.rfp[rx].CsThreshW
+	if b != m.busys[rx] {
+		m.carrierFlip(rx, b)
 	}
 }
 
-func (r *Radio) carrierFlip(b bool) {
-	r.busy = b
-	if r.listener != nil && !r.down {
-		r.listener.RadioCarrier(b)
+func (m *Medium) carrierFlip(rx int, b bool) {
+	m.busys[rx] = b
+	if l := m.listeners[rx]; l != nil && !m.downs[rx] {
+		l.RadioCarrier(b)
 	}
 }

@@ -53,6 +53,25 @@ func TestTxPoolCap(t *testing.T) {
 	}
 }
 
+// TestResetClearsTxPoolDrops pins the warm==cold contract for the pool
+// drop counter: a warm engine's second run must start from zero drops
+// exactly like a freshly built medium (Reset used to zero every other
+// counter but leak this one across runs).
+func TestResetClearsTxPoolDrops(t *testing.T) {
+	sim, m, radios, _ := testbed(DefaultParams(),
+		geom.Point{X: 0}, geom.Point{X: 200})
+	m.SetTxPoolCap(1)
+	stagger(sim, radios, 5)
+	sim.Run()
+	if m.TxPoolDrops() == 0 {
+		t.Fatal("no pool drops before Reset; test needs cap pressure")
+	}
+	m.Reset(NewTwoRay(914e6, 1.5, 1.5), []geom.Point{{X: 0}, {X: 200}})
+	if got := m.TxPoolDrops(); got != 0 {
+		t.Fatalf("txPoolDrops %d survived Reset, want 0", got)
+	}
+}
+
 func TestSetTxPoolCapTrimsExisting(t *testing.T) {
 	sim, m, radios, _ := testbed(DefaultParams(),
 		geom.Point{X: 0}, geom.Point{X: 200})

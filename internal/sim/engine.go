@@ -128,6 +128,7 @@ func (e *Engine) prepare(sc Scenario, master *rng.Source) (*topo.Topology, error
 		e.simk.SetReference(sc.ReferenceQueue)
 		e.medium = radio.NewMedium(e.simk, sc.propagation())
 		e.medium.SetReference(sc.ReferenceRadio)
+		e.medium.SetAudibleMemo(!sc.LegacyRadio)
 		e.nodes = node.BuildNetwork(e.simk, e.medium, positions, sc.Radio, sc.Mac,
 			master.Derive(1000), func(env routing.Env) *routing.Core {
 				return routing.New(env, spec.Cfg, spec.Policy())
@@ -141,6 +142,7 @@ func (e *Engine) prepare(sc Scenario, master *rng.Source) (*topo.Topology, error
 	e.simk.SetReference(sc.ReferenceQueue)
 	e.medium.Reset(sc.propagation(), positions)
 	e.medium.SetReference(sc.ReferenceRadio)
+	e.medium.SetAudibleMemo(!sc.LegacyRadio)
 	e.medium.SetImpairment(sc.Faults.Link, sc.Seed)
 	node.ResetNetwork(e.nodes, positions, sc.Mac, master.Derive(1000), spec)
 	return tp, nil

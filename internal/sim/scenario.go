@@ -136,6 +136,13 @@ type Scenario struct {
 	// simplicity.
 	ReferenceRadio bool
 
+	// LegacyRadio disables the Medium's audible-set memoisation and falls
+	// back to the per-transmission indexed scan (spatial grid + link-gain
+	// cache) — the intermediate tier between the memoised default and
+	// ReferenceRadio, retained for same-process A/B benchmarking and
+	// differential tests. Results are bit-identical either way.
+	LegacyRadio bool
+
 	// ReferenceQueue forces the DES kernel's retained binary-heap event
 	// list instead of the production calendar queue — the same
 	// trade-speed-for-simplicity reference switch as ReferenceRadio.
