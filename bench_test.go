@@ -311,6 +311,28 @@ func BenchmarkSimulatorThroughputAudibleSets(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorThroughputAudit is the same-process A/B for the
+// runtime invariant auditor (Scenario.Audit): the default un-audited run
+// against the same scenario with the full invariant sweep (packet
+// conservation, DES sanity, radio coherence, routing invariants) firing
+// every 100 ms of simulated time. off/on ratios are the auditor's true
+// overhead, immune to machine-speed drift between separate runs; the
+// off tier must stay within the bench-compare gate of the committed
+// BenchmarkSimulatorThroughput baseline (auditing off costs nothing).
+func BenchmarkSimulatorThroughputAudit(b *testing.B) {
+	sc := sim.DefaultScenario()
+	sc.Measure = 30 * des.Second
+	sc.SessionTime = 10 * des.Second
+	b.Run("off", func(b *testing.B) {
+		benchThroughput(b, sc)
+	})
+	b.Run("on", func(b *testing.B) {
+		asc := sc
+		asc.Audit = true
+		benchThroughput(b, asc)
+	})
+}
+
 // BenchmarkDESChurn measures the DES kernel alone in the hold model: a
 // steady population of pending events where every firing schedules its
 // replacement. Sub-benchmarks sweep the population size to expose how the

@@ -15,14 +15,23 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"clnlr/internal/experiments"
 	"clnlr/internal/metrics"
 	"clnlr/internal/prof"
 )
+
+// knownFigures is the allowlist for -fig selections.
+var knownFigures = []string{
+	"F-R1", "F-R2", "F-R3", "F-R4", "F-R5", "F-R6", "F-R7",
+	"F-R8", "F-R9", "F-R10", "F-R11", "T-R2",
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,8 +49,26 @@ func main() {
 		status   = flag.String("status", "", "serve live sweep progress (expvar \"sweep\" at /debug/vars) and pprof on this address, e.g. localhost:6060")
 		progress = flag.Duration("progress", 0, "log a one-line progress summary at this wall-clock interval (0 = off)")
 		reports  = flag.String("reports", "", "directory to write per-cell run reports (JSON, with per-layer counters)")
+		resume   = flag.Bool("resume", false, "skip cells already checkpointed in the -reports directory (bit-identical to a fresh run)")
+		auditOn  = flag.Bool("audit", false, "run every replication under the runtime invariant auditor")
+		stall    = flag.Duration("stall-budget", 0, "kill a replication whose simulated clock makes no progress for this wall-clock time (0 = off)")
+		retries  = flag.Int("retries", 0, "re-attempt a crashed or stalled replication up to this many times on a fresh engine")
+		backoff  = flag.Duration("retry-backoff", 0, "wait between replication retry attempts")
 	)
 	flag.Parse()
+
+	if *reps < 0 {
+		log.Fatalf("negative replication count %d", *reps)
+	}
+	if *retries < 0 {
+		log.Fatalf("negative retry count %d", *retries)
+	}
+	if *stall < 0 || *backoff < 0 {
+		log.Fatal("negative duration for -stall-budget or -retry-backoff")
+	}
+	if *resume && *reports == "" {
+		log.Fatal("-resume requires -reports (the checkpoint directory to resume from)")
+	}
 
 	stopProf, err := profFlags.Start()
 	if err != nil {
@@ -58,6 +85,26 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Resume = *resume
+	cfg.Audit = *auditOn
+	cfg.StallBudget = *stall
+	cfg.Retries = *retries
+	cfg.RetryBackoff = *backoff
+
+	// Graceful interrupt: the first SIGINT/SIGTERM drains in-flight
+	// replications and checkpoints completed cells; a second one exits
+	// immediately.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		log.Print("interrupt: draining in-flight replications; interrupt again to exit immediately")
+		<-sigc
+		os.Exit(130)
+	}()
+	cfg.Interrupted = interrupted.Load
 
 	prog := metrics.NewProgress()
 	cfg.Progress = prog
@@ -86,10 +133,18 @@ func main() {
 		cfg.ReportDir = *reports
 	}
 
+	known := map[string]bool{}
+	for _, id := range knownFigures {
+		known[id] = true
+	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*figSel, ",") {
 		if id = strings.TrimSpace(id); id != "" {
-			want[strings.ToUpper(id)] = true
+			id = strings.ToUpper(id)
+			if !known[id] {
+				log.Fatalf("unknown figure %q (known: %s)", id, strings.Join(knownFigures, ", "))
+			}
+			want[id] = true
 		}
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
@@ -98,50 +153,72 @@ func main() {
 
 	var figs []experiments.Figure
 	failedCells := 0
+	stopped := false
 	add := func(f experiments.Figure, err error) {
-		if err != nil {
-			// A crashed or failed replication poisons only its own cells;
-			// render whatever survived and report the holes at the end.
-			var pe *experiments.PartialError
-			if !errors.As(err, &pe) {
-				log.Fatal(err)
-			}
+		figs = append(figs, f)
+		if err == nil {
+			return
+		}
+		// A crashed or failed replication poisons only its own cells;
+		// render whatever survived and report the holes at the end. An
+		// interrupt stops the suite after the current planner run drains.
+		handled := false
+		var pe *experiments.PartialError
+		if errors.As(err, &pe) {
 			failedCells += len(pe.Failures)
 			log.Print(pe)
+			handled = true
 		}
-		figs = append(figs, f)
+		if errors.Is(err, experiments.ErrInterrupted) {
+			stopped = true
+			handled = true
+		}
+		if !handled {
+			log.Fatal(err)
+		}
+	}
+	run := func(id ...string) bool {
+		if stopped {
+			return false
+		}
+		for _, i := range id {
+			if selected(i) {
+				return true
+			}
+		}
+		return false
 	}
 
 	start := time.Now()
-	if selected("F-R1") || selected("F-R2") {
+	if run("F-R1", "F-R2") {
 		r1, r2, err := experiments.FigR1R2(cfg)
 		add(r1, err)
 		figs = append(figs, r2)
 	}
-	if selected("F-R3") || selected("F-R4") || selected("F-R7") {
+	if run("F-R3", "F-R4", "F-R7") {
 		r3, r4, r7, err := experiments.FigR3R4R7(cfg)
 		add(r3, err)
 		figs = append(figs, r4, r7)
 	}
-	if selected("F-R5") {
+	if run("F-R5") {
 		add(experiments.FigR5(cfg))
 	}
-	if selected("F-R6") {
+	if run("F-R6") {
 		add(experiments.FigR6(cfg))
 	}
-	if selected("T-R2") {
+	if run("T-R2") {
 		add(experiments.TabR2(cfg))
 	}
-	if selected("F-R8") {
+	if run("F-R8") {
 		add(experiments.FigR8(cfg))
 	}
-	if selected("F-R9") {
+	if run("F-R9") {
 		add(experiments.FigR9(cfg))
 	}
-	if selected("F-R10") {
+	if run("F-R10") {
 		add(experiments.FigR10(cfg))
 	}
-	if selected("F-R11") {
+	if run("F-R11") {
 		add(experiments.FigR11(cfg))
 	}
 
@@ -171,5 +248,16 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
+	}
+	if stopped {
+		if *reports != "" {
+			log.Printf("sweep interrupted; completed cells are checkpointed — rerun with -resume -reports %s to continue", *reports)
+		} else {
+			log.Print("sweep interrupted; rerun with -reports DIR (and later -resume) to make interruption cheap")
+		}
+		os.Exit(1)
+	}
+	if failedCells > 0 {
+		os.Exit(1)
 	}
 }

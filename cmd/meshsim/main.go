@@ -72,6 +72,7 @@ func main() {
 		reportFile = flag.String("report", "", "write a machine-readable run report (JSON) to this file; forces reps=1")
 		configFile = flag.String("config", "", "load scenario from a JSON file (flags override its fields)")
 		dumpConfig = flag.String("dump-config", "", "write the effective scenario as JSON to this file and exit")
+		auditOn    = flag.Bool("audit", false, "run under the runtime invariant auditor (fails on any invariant violation)")
 	)
 	flag.Parse()
 
@@ -120,6 +121,21 @@ func main() {
 			set()
 		}
 	})
+	sc.Audit = *auditOn
+
+	// Fail fast with a one-line error on configuration mistakes (unknown
+	// scheme or topology, negative durations, …) instead of surfacing
+	// them mid-run.
+	if *reps <= 0 {
+		log.Fatalf("non-positive replication count %d", *reps)
+	}
+	vsc := sc
+	if *discover > 0 && vsc.Flows == 0 {
+		vsc.Flows = 1 // discovery probes are valid without background load
+	}
+	if err := vsc.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	if *dumpConfig != "" {
 		if err := sim.SaveScenario(*dumpConfig, sc); err != nil {

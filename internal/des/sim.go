@@ -140,6 +140,15 @@ type Sim struct {
 	freeCap   int
 	freeDrops uint64 // nodes dropped to GC because the free list was full
 	pendingHW int    // peak Pending() since construction/Reset
+
+	// pastSchedules counts At/AtCall targets that preceded the clock and
+	// were clamped to "now" — a simulation-logic error the auditor reports.
+	pastSchedules uint64
+
+	// watch, when set, receives periodic progress publications from the
+	// run loop and can abort a stalled run (watch.go). nil costs one
+	// predictable branch per executed event.
+	watch *Watch
 }
 
 // NewSim returns an empty simulation positioned at time zero, using the
@@ -184,6 +193,13 @@ func (s *Sim) Executed() uint64 { return s.executed }
 // PendingHighWater returns the peak Pending() observed since construction
 // or the last Reset — the sizing signal for the event-node pool.
 func (s *Sim) PendingHighWater() int { return s.pendingHW }
+
+// PastSchedules returns how many events were scheduled at an absolute
+// time before the clock (and clamped to "now") since construction or the
+// last Reset. Schedule/ScheduleCall clamp negative delays before reaching
+// the clock, so only genuinely past At/AtCall targets count — any nonzero
+// value is a simulation-logic bug the auditor flags.
+func (s *Sim) PastSchedules() uint64 { return s.pastSchedules }
 
 // FreeListLen returns the current length of the event-node free list.
 func (s *Sim) FreeListLen() int { return len(s.free) }
@@ -260,6 +276,7 @@ func (s *Sim) AtCall(t Time, h Handler, op int32, arg uint32) Event {
 func (s *Sim) alloc(t Time) (*eventNode, Time) {
 	if t < s.now {
 		t = s.now
+		s.pastSchedules++
 	}
 	var n *eventNode
 	if k := len(s.free); k > 0 {
@@ -317,6 +334,7 @@ func (s *Sim) Reset() {
 	s.stopped = false
 	s.executed = 0
 	s.pendingHW = 0
+	s.pastSchedules = 0
 }
 
 // Run executes events in order until the queue is empty or Stop is called.
@@ -358,6 +376,12 @@ func (s *Sim) run(horizon Time, clamp bool) {
 			h.HandleEvent(op, arg)
 		}
 		s.executed++
+		if s.watch != nil && s.executed&watchStrideMask == 0 {
+			s.watch.publish(s.now, s.executed)
+			if s.watch.aborted() {
+				panic(&StallError{Now: s.now, Executed: s.executed})
+			}
+		}
 	}
 	if clamp && !s.stopped && s.now < horizon {
 		s.now = horizon

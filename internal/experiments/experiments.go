@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"clnlr/internal/des"
 	"clnlr/internal/metrics"
@@ -36,6 +37,39 @@ type Config struct {
 	// machine-readable CellReport JSON per clean cell into the directory.
 	// Determinism is unaffected: collection never changes a run's outcome.
 	ReportDir string
+
+	// Resume, with ReportDir set, skips every cell whose checkpoint in
+	// ReportDir is complete and fingerprint-matched, loading its
+	// replications instead of re-running them. Because every replication
+	// is a pure function of its seed, a resumed sweep is bit-identical to
+	// an uninterrupted one.
+	Resume bool
+
+	// Interrupted, when non-nil, is polled between replications; once it
+	// returns true, workers finish their in-flight replication and stop.
+	// The planner then checkpoints every completed cell as usual and
+	// returns ErrInterrupted — the graceful-drain half of the
+	// interrupt/resume contract.
+	Interrupted func() bool
+
+	// StallBudget, when positive, arms a per-replication watchdog: a
+	// replication whose simulated clock makes no progress for this much
+	// wall-clock time is killed (via des.Watch) and reported as a
+	// poisoned cell, instead of hanging the sweep forever.
+	StallBudget time.Duration
+
+	// Retries bounds how many times a crashed (panicked or
+	// watchdog-killed) replication is re-attempted on a fresh engine with
+	// the same seed, sequentially after the main pool drains. A flaky
+	// failure heals; a deterministic one fails Retries times and stays a
+	// poisoned cell. RetryBackoff is the wait between attempts.
+	Retries      int
+	RetryBackoff time.Duration
+
+	// Audit enables the runtime invariant auditor (sim.Scenario.Audit) on
+	// every data-plane replication. Results are bit-identical either way;
+	// a violation fails the replication with a structured audit error.
+	Audit bool
 }
 
 // DefaultConfig returns the full-fidelity suite configuration.

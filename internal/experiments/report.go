@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,6 +16,12 @@ import (
 // replication's Result, and — for data-plane cells — the per-layer
 // counters summed over all replications. Discovery cells carry their
 // probe results instead; those runs have no counter hook.
+//
+// A cell report doubles as the cell's sweep checkpoint: it is written
+// atomically (temp file + rename) only once every replication of the
+// cell has succeeded, so a report that exists is always complete, and a
+// resumed sweep (Config.Resume) can trust fingerprint-matched reports
+// without re-running them.
 type CellReport struct {
 	Label       string `json:"label"`
 	Fingerprint string `json:"fingerprint"`
@@ -22,10 +29,36 @@ type CellReport struct {
 	Seed        uint64 `json:"seed"`
 	Reps        int    `json:"reps"`
 
+	// Retries counts replication re-attempts consumed healing crashed or
+	// watchdog-killed runs of this cell (Config.Retries); 0 for a cell
+	// that was clean on the first pass.
+	Retries int `json:"retries,omitempty"`
+
 	Counters  map[string]uint64     `json:"counters,omitempty"`
 	Results   []sim.Result          `json:"results,omitempty"`
 	Discovery []sim.DiscoveryResult `json:"discovery,omitempty"`
 }
+
+// Manifest pins the sweep configuration a ReportDir's checkpoints were
+// produced under, so a resume against a directory from a differently
+// configured sweep fails loudly instead of silently mixing results.
+// Successive planner runs of one suite invocation merge their cells in.
+type Manifest struct {
+	Reps  int            `json:"reps"`
+	Seed  uint64         `json:"seed"`
+	Quick bool           `json:"quick"`
+	Cells []ManifestCell `json:"cells"`
+}
+
+// ManifestCell records one registered cell's checkpoint identity.
+type ManifestCell struct {
+	Label       string `json:"label"`
+	File        string `json:"file"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// manifestFile is the sweep manifest's name inside ReportDir.
+const manifestFile = "manifest.json"
 
 // cellFileName maps a cell label to a safe file name: every byte outside
 // [A-Za-z0-9._-] becomes '_'.
@@ -41,7 +74,22 @@ func cellFileName(label string) string {
 	return safe + ".json"
 }
 
-// writeCellReport writes one clean cell's report into dir.
+// atomicWriteJSON writes v as indented JSON to path via a same-directory
+// temp file and rename, so readers (and resumed sweeps) never observe a
+// torn file — a checkpoint either exists complete or not at all.
+func atomicWriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeCellReport checkpoints one clean, complete cell into dir.
 func writeCellReport(dir string, c *cell) error {
 	rep := CellReport{
 		Label:       c.label,
@@ -49,6 +97,7 @@ func writeCellReport(dir string, c *cell) error {
 		Scheme:      string(c.sc.Scheme),
 		Seed:        c.sc.Seed,
 		Reps:        len(c.errs),
+		Retries:     c.retries,
 		Results:     c.results,
 		Discovery:   c.dres,
 	}
@@ -61,9 +110,81 @@ func writeCellReport(dir string, c *cell) error {
 		}
 		rep.Counters = sum
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	return atomicWriteJSON(filepath.Join(dir, cellFileName(c.label)), rep)
+}
+
+// loadCellReport loads c's checkpoint from dir if it exists, is complete
+// (all reps present) and matches the cell's identity — fingerprint, base
+// seed and replication count. On a match the stored replications are
+// installed into the cell and true is returned; any mismatch or read
+// error means "run it again" (false), never a hard failure, because a
+// stale checkpoint is indistinguishable from an absent one.
+func loadCellReport(dir string, c *cell, reps int) bool {
+	data, err := os.ReadFile(filepath.Join(dir, cellFileName(c.label)))
 	if err != nil {
-		return err
+		return false
 	}
-	return os.WriteFile(filepath.Join(dir, cellFileName(c.label)), append(data, '\n'), 0o644)
+	var rep CellReport
+	if json.Unmarshal(data, &rep) != nil {
+		return false
+	}
+	if rep.Label != c.label || rep.Fingerprint != c.sc.Fingerprint() ||
+		rep.Seed != c.sc.Seed || rep.Reps != reps {
+		return false
+	}
+	if c.discovery {
+		if len(rep.Discovery) != reps {
+			return false
+		}
+		c.dres = rep.Discovery
+	} else {
+		if len(rep.Results) != reps {
+			return false
+		}
+		c.results = rep.Results
+	}
+	c.loaded = true
+	return true
+}
+
+// syncManifest merges this planner run's cells into dir's manifest. An
+// existing manifest with a different (reps, seed, quick) configuration is
+// a resume error — checkpoints under it would not reproduce this sweep —
+// unless resume is off, in which case the stale manifest is replaced (the
+// directory is being overwritten by a fresh sweep).
+func (p *planner) syncManifest() error {
+	dir := p.cfg.ReportDir
+	path := filepath.Join(dir, manifestFile)
+	m := Manifest{Reps: p.cfg.Reps, Seed: p.cfg.Seed, Quick: p.cfg.Quick}
+	if data, err := os.ReadFile(path); err == nil {
+		var prev Manifest
+		if err := json.Unmarshal(data, &prev); err != nil {
+			if p.cfg.Resume {
+				return fmt.Errorf("experiments: corrupt sweep manifest %s: %v", path, err)
+			}
+		} else if prev.Reps != p.cfg.Reps || prev.Seed != p.cfg.Seed || prev.Quick != p.cfg.Quick {
+			if p.cfg.Resume {
+				return fmt.Errorf(
+					"experiments: %s was written by a sweep with reps=%d seed=%d quick=%v; "+
+						"this run has reps=%d seed=%d quick=%v — cannot resume",
+					path, prev.Reps, prev.Seed, prev.Quick, p.cfg.Reps, p.cfg.Seed, p.cfg.Quick)
+			}
+		} else {
+			m.Cells = prev.Cells
+		}
+	}
+	known := make(map[string]int, len(m.Cells))
+	for i, mc := range m.Cells {
+		known[mc.Label] = i
+	}
+	for _, c := range p.cells {
+		mc := ManifestCell{Label: c.label, File: cellFileName(c.label), Fingerprint: c.sc.Fingerprint()}
+		if i, ok := known[c.label]; ok {
+			m.Cells[i] = mc
+		} else {
+			known[c.label] = len(m.Cells)
+			m.Cells = append(m.Cells, mc)
+		}
+	}
+	return atomicWriteJSON(path, m)
 }

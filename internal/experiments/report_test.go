@@ -29,12 +29,36 @@ func TestSweepProgressAndCellReports(t *testing.T) {
 		t.Errorf("progress %d/%d cells, want %d complete", s.CellsDone, s.CellsTotal, wantCells)
 	}
 
-	files, err := filepath.Glob(filepath.Join(cfg.ReportDir, "*.json"))
+	all, err := filepath.Glob(filepath.Join(cfg.ReportDir, "*.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	var files []string
+	sawManifest := false
+	for _, f := range all {
+		if filepath.Base(f) == manifestFile {
+			sawManifest = true
+			continue
+		}
+		files = append(files, f)
+	}
+	if !sawManifest {
+		t.Errorf("no %s written alongside the cell reports", manifestFile)
+	}
 	if len(files) != wantCells {
 		t.Fatalf("got %d cell reports, want %d", len(files), wantCells)
+	}
+	var man Manifest
+	mdata, err := os.ReadFile(filepath.Join(cfg.ReportDir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mdata, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Reps != cfg.Reps || man.Seed != cfg.Seed || len(man.Cells) != wantCells {
+		t.Errorf("manifest reps=%d seed=%d cells=%d, want %d/%d/%d",
+			man.Reps, man.Seed, len(man.Cells), cfg.Reps, cfg.Seed, wantCells)
 	}
 	data, err := os.ReadFile(files[0])
 	if err != nil {

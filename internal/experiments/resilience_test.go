@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clnlr/internal/des"
+	"clnlr/internal/node"
+	"clnlr/internal/sim"
+)
+
+// readCellFile loads one checkpoint by label.
+func readCellFile(t *testing.T, dir, label string) CellReport {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, cellFileName(label)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep CellReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// countCellFiles returns the number of cell checkpoints (manifest excluded).
+func countCellFiles(t *testing.T, dir string) int {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, f := range files {
+		if filepath.Base(f) != manifestFile {
+			n++
+		}
+	}
+	return n
+}
+
+// TestInterruptedResumeBitIdentical pins the sweep checkpoint contract: a
+// sweep interrupted mid-run and then resumed must produce the figure an
+// uninterrupted sweep produces, bit for bit, with the checkpointed cells
+// loaded rather than re-run.
+func TestInterruptedResumeBitIdentical(t *testing.T) {
+	baseline, err := FigR5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	cfg.Workers = 1 // one worker: jobs run in registration order, so the cut point is deterministic
+	cfg.ReportDir = dir
+	// Interrupted is polled once at each job's start; letting exactly 7 of
+	// the 12 jobs (6 cells × 2 reps) through completes cells 0–2 and leaves
+	// cell 3 half-done.
+	var polls atomic.Int32
+	cfg.Interrupted = func() bool { return polls.Add(1) > 7 }
+
+	_, err = FigR5(cfg)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted sweep returned %v, want ErrInterrupted", err)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("graceful drain reported failures: %v", pe)
+	}
+	if got := countCellFiles(t, dir); got != 3 {
+		t.Fatalf("interrupted sweep checkpointed %d cells, want 3", got)
+	}
+
+	// Plant a sentinel in a completed checkpoint: loadCellReport ignores
+	// Retries, and a loaded cell is never rewritten, so the sentinel
+	// surviving the resume proves the cell was loaded, not re-run.
+	label := "F-R5 flows=5 flood"
+	sentinel := readCellFile(t, dir, label)
+	sentinel.Retries = 99
+	if err := atomicWriteJSON(filepath.Join(dir, cellFileName(label)), sentinel); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := tinyConfig()
+	resumed.ReportDir = dir
+	resumed.Resume = true
+	f, err := FigR5(resumed)
+	if err != nil {
+		t.Fatalf("resumed sweep failed: %v", err)
+	}
+	if f.CSV() != baseline.CSV() {
+		t.Errorf("resumed figure differs from the uninterrupted one:\n--- resumed\n%s--- baseline\n%s", f.CSV(), baseline.CSV())
+	}
+	if got := countCellFiles(t, dir); got != 6 {
+		t.Errorf("resumed sweep left %d checkpoints, want 6", got)
+	}
+	if got := readCellFile(t, dir, label).Retries; got != 99 {
+		t.Errorf("checkpointed cell was re-run on resume (sentinel %d, want 99)", got)
+	}
+}
+
+// TestResumeRejectsMismatchedManifest pins the manifest guard: resuming
+// into a directory written under a different sweep configuration must fail
+// loudly instead of mixing checkpoints.
+func TestResumeRejectsMismatchedManifest(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	cfg.ReportDir = dir
+	if _, err := FigR5(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := tinyConfig()
+	bad.Reps = cfg.Reps + 1
+	bad.ReportDir = dir
+	bad.Resume = true
+	_, err := FigR5(bad)
+	if err == nil {
+		t.Fatal("resume with a different replication count was accepted")
+	}
+	if !strings.Contains(err.Error(), "cannot resume") {
+		t.Errorf("mismatch error does not say why: %v", err)
+	}
+}
+
+// TestWatchdogPoisonsStalledCell pins the stall path end to end: a
+// replication whose simulated clock stops advancing (zero-delay event
+// livelock) is killed by the watchdog, surfaces as a poisoned cell in the
+// PartialError with a *des.StallError cause, and every other cell of the
+// sweep survives.
+func TestWatchdogPoisonsStalledCell(t *testing.T) {
+	const stalled = "F-R5 flows=5 flood"
+	sim.TestHookPrepared = func(simk *des.Sim, _ []*node.Node, sc sim.Scenario) {
+		if sc.Flows != 5 || sc.Scheme != sim.SchemeFlood || sc.Seed != 7 {
+			return
+		}
+		// Zero-delay livelock one second into the run: events keep firing
+		// but simulated time stops advancing.
+		simk.At(des.Second, func() {
+			var spin func()
+			spin = func() { simk.Schedule(0, spin) }
+			spin()
+		})
+	}
+	defer func() { sim.TestHookPrepared = nil }()
+
+	cfg := tinyConfig()
+	cfg.StallBudget = 100 * time.Millisecond
+
+	f, err := FigR5(cfg)
+	if err == nil {
+		t.Fatal("stalled replication reported no error")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("stalled sweep failed with %T (%v), want *PartialError", err, err)
+	}
+	if len(pe.Failures) != 1 {
+		t.Fatalf("got %d failures, want exactly the stalled replication: %v", len(pe.Failures), pe)
+	}
+	fail := pe.Failures[0]
+	if fail.Label != stalled || fail.Seed != 7 {
+		t.Errorf("poisoned cell is %q seed=%d, want %q seed=7", fail.Label, fail.Seed, stalled)
+	}
+	var crash *sim.PanicError
+	if !errors.As(fail.Err, &crash) {
+		t.Fatalf("failure cause %T (%v), want *sim.PanicError", fail.Err, fail.Err)
+	}
+	if _, ok := crash.Value.(*des.StallError); !ok {
+		t.Errorf("panic value %T (%v), want *des.StallError", crash.Value, crash.Value)
+	}
+	// All five unpoisoned cells must have been finalized.
+	if got := len(f.Points); got != 5 {
+		t.Errorf("figure has %d points, want 5 surviving cells", got)
+	}
+	for _, p := range f.Points {
+		if p.X == 5 && p.Scheme == string(sim.SchemeFlood) {
+			t.Errorf("poisoned cell leaked into the figure: %+v", p)
+		}
+	}
+}
+
+// TestRetryHealsTransientCrash pins the bounded-retry pass: a replication
+// that panics once and then behaves is re-run on a fresh engine, the cell
+// completes with its retry counted in the checkpoint, and the figure is
+// bit-identical to a never-crashed sweep.
+func TestRetryHealsTransientCrash(t *testing.T) {
+	baseline, err := FigR5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tripped atomic.Bool
+	sim.TestHookRun = func(sc sim.Scenario) {
+		if sc.Flows == 15 && sc.Scheme == sim.SchemeCLNLR && sc.Seed == 8 &&
+			tripped.CompareAndSwap(false, true) {
+			panic("injected transient crash")
+		}
+	}
+	defer func() { sim.TestHookRun = nil }()
+
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	cfg.ReportDir = dir
+	cfg.Retries = 2
+
+	f, err := FigR5(cfg)
+	if err != nil {
+		t.Fatalf("retry did not heal the transient crash: %v", err)
+	}
+	if !tripped.Load() {
+		t.Fatal("injected crash never fired — the test exercised nothing")
+	}
+	if f.CSV() != baseline.CSV() {
+		t.Errorf("healed sweep differs from a clean one:\n--- healed\n%s--- baseline\n%s", f.CSV(), baseline.CSV())
+	}
+	rep := readCellFile(t, dir, "F-R5 flows=15 clnlr")
+	if rep.Retries != 1 {
+		t.Errorf("healed cell recorded %d retries, want 1", rep.Retries)
+	}
+}

@@ -1,13 +1,23 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
+	"sync"
+	"time"
 
 	"clnlr/internal/des"
 	"clnlr/internal/metrics"
 	"clnlr/internal/sim"
 )
+
+// ErrInterrupted reports a sweep stopped by Config.Interrupted: in-flight
+// replications were drained, completed cells were finalized (and
+// checkpointed when ReportDir is set), and the rest never ran. Re-running
+// with Config.Resume picks up exactly where this run stopped.
+var ErrInterrupted = errors.New("experiments: sweep interrupted; completed cells were checkpointed")
 
 // CellFailure records one failed replication of one cell: which sweep
 // point, which seed, and why (an ordinary error or a recovered
@@ -46,7 +56,9 @@ func (e *PartialError) Error() string {
 // the seed schedule sim.RunReplications uses, and cells are finalized in
 // registration order, so a planner run produces bit-identical Figures to
 // the sequential per-figure loops it replaces — regardless of worker count
-// or job interleaving.
+// or job interleaving. The same purity is what makes checkpoint/resume
+// sound: a cell loaded from a fingerprint-matched report is bit-identical
+// to one re-run from scratch.
 type planner struct {
 	cfg   Config
 	cells []*cell
@@ -71,6 +83,14 @@ type cell struct {
 	counters []map[string]uint64
 	errs     []error
 
+	// loaded marks a cell whose replications came from a resume
+	// checkpoint instead of running; skipped marks a cell with at least
+	// one replication that never ran because the sweep was interrupted.
+	// retries counts re-attempts consumed by the bounded retry pass.
+	loaded  bool
+	skipped bool
+	retries int
+
 	finalize func(*cell)
 }
 
@@ -80,27 +100,178 @@ func newPlanner(cfg Config) *planner { return &planner{cfg: cfg} }
 // planner has completed, with c.results holding the replications in seed
 // order.
 func (p *planner) add(label string, sc sim.Scenario, finalize func(c *cell)) {
+	sc.Audit = p.cfg.Audit
 	p.cells = append(p.cells, &cell{label: label, sc: sc, finalize: finalize})
 }
 
 // addDiscovery registers a discovery-probe cell (c.dres holds the
 // replications in seed order).
 func (p *planner) addDiscovery(label string, sc sim.Scenario, rounds int, gap des.Time, finalize func(c *cell)) {
+	sc.Audit = p.cfg.Audit
 	p.cells = append(p.cells, &cell{
 		label: label, sc: sc, discovery: true, rounds: rounds, gap: gap,
 		finalize: finalize,
 	})
 }
 
+// interrupted polls Config.Interrupted.
+func (p *planner) interrupted() bool {
+	return p.cfg.Interrupted != nil && p.cfg.Interrupted()
+}
+
+// runJob executes replication rep of c on eng, storing the result (and,
+// when col is non-nil, the run's counter snapshot) into the cell's
+// seed-ordered slices, and returns the run error.
+func (p *planner) runJob(c *cell, rep int, eng *sim.Engine, col *metrics.Collector) error {
+	sc := c.sc
+	sc.Seed += uint64(rep)
+	if c.discovery {
+		var err error
+		c.dres[rep], err = eng.RunDiscovery(sc, c.rounds, c.gap)
+		return err
+	}
+	if col != nil {
+		r, err := eng.RunObserved(sc, nil, col)
+		c.results[rep] = r
+		if err == nil {
+			c.counters[rep] = col.Counters().Map()
+		}
+		return err
+	}
+	var err error
+	c.results[rep], err = eng.Run(sc)
+	return err
+}
+
+// watchStalls starts the watchdog monitor over the per-worker progress
+// channels: a watch that is inside a job whose published simulated clock
+// has not moved for more than budget wall-clock time is aborted, which
+// makes the DES kernel panic with *des.StallError at its next progress
+// check — recovered by the pool's crash containment into a poisoned-cell
+// PanicError. The returned stop function terminates the monitor.
+//
+// A handler that never returns control to the kernel cannot be killed
+// this way (see des.Watch); the watchdog targets the realistic failure
+// shape, zero-delay event livelock, where events keep executing but
+// simulated time stops advancing.
+func watchStalls(watches []*des.Watch, budget time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	tick := budget / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	go func() {
+		defer wg.Done()
+		type mark struct {
+			gen   uint64
+			now   des.Time
+			since time.Time
+		}
+		last := make([]mark, len(watches))
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			wall := time.Now()
+			for i, w := range watches {
+				gen, running, now, _ := w.Snapshot()
+				if !running || gen != last[i].gen || now != last[i].now {
+					last[i] = mark{gen: gen, now: now, since: wall}
+					continue
+				}
+				if wall.Sub(last[i].since) > budget {
+					w.Abort()
+				}
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// runContained invokes fn with the same panic containment the worker pool
+// applies, so the sequential retry pass survives a retried replication
+// crashing again.
+func runContained(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &sim.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// retryFailed is the bounded-retry pass: every replication that died by
+// panic (including watchdog kills) is re-attempted sequentially on a
+// fresh engine with the same derived seed, up to Config.Retries times
+// with Config.RetryBackoff between attempts. Determinism is preserved
+// because a successful retry computes exactly the result the original
+// run would have produced. watch, when non-nil, keeps the watchdog armed
+// over the retries.
+func (p *planner) retryFailed(watch *des.Watch) {
+	var col *metrics.Collector
+	if p.cfg.ReportDir != "" {
+		col = metrics.NewCollector(0)
+	}
+	for _, c := range p.cells {
+		cellCol := col
+		if c.discovery {
+			cellCol = nil
+		}
+		for r := range c.errs {
+			var pe *sim.PanicError
+			if !errors.As(c.errs[r], &pe) {
+				continue
+			}
+			for attempt := 0; attempt < p.cfg.Retries && c.errs[r] != nil; attempt++ {
+				if p.interrupted() {
+					return
+				}
+				if p.cfg.RetryBackoff > 0 {
+					time.Sleep(p.cfg.RetryBackoff)
+				}
+				c.retries++
+				eng := sim.NewEngine()
+				eng.SetWatch(watch)
+				c.errs[r] = runContained(func() error {
+					if watch != nil {
+						watch.BeginJob()
+						defer watch.EndJob()
+					}
+					return p.runJob(c, r, eng, cellCol)
+				})
+			}
+		}
+	}
+}
+
 // run executes every registered cell's replications across one worker pool,
 // then finalizes cells in registration order. A failing replication — by
 // error or by recovered panic — does not abort the sweep: every remaining
-// job still runs, every cell whose replications all succeeded is finalized
-// normally, and the failures come back aggregated in a *PartialError (in
-// registration/seed order, not completion order).
+// job still runs (minus bounded retries of crashed ones), every cell whose
+// replications all succeeded is finalized normally, and the failures come
+// back aggregated in a *PartialError (in registration/seed order, not
+// completion order). With ReportDir set, clean cells are checkpointed
+// atomically as they complete the pass; with Resume, fingerprint-matched
+// checkpoints are loaded instead of re-run; with Interrupted, the pool
+// drains gracefully and ErrInterrupted is returned (joined with any
+// PartialError).
 func (p *planner) run() error {
 	if p.cfg.Reps <= 0 {
 		return fmt.Errorf("experiments: non-positive replication count %d", p.cfg.Reps)
+	}
+	if p.cfg.ReportDir != "" {
+		if err := p.syncManifest(); err != nil {
+			return err
+		}
 	}
 	type job struct {
 		c   *cell
@@ -108,6 +279,9 @@ func (p *planner) run() error {
 	}
 	jobs := make([]job, 0, len(p.cells)*p.cfg.Reps)
 	for _, c := range p.cells {
+		if p.cfg.Resume && p.cfg.ReportDir != "" && loadCellReport(p.cfg.ReportDir, c, p.cfg.Reps) {
+			continue
+		}
 		if c.discovery {
 			c.dres = make([]sim.DiscoveryResult, p.cfg.Reps)
 		} else {
@@ -129,40 +303,57 @@ func (p *planner) run() error {
 	// place) instead of rebuilding it per replication. Results are
 	// bit-identical to cold runs — see the sim.Engine determinism
 	// contract.
-	engines := make([]*sim.Engine, sim.ResolveWorkers(len(jobs), p.cfg.Workers))
+	numWorkers := sim.ResolveWorkers(len(jobs), p.cfg.Workers)
+	engines := make([]*sim.Engine, numWorkers)
 	// One warm counters-only collector per worker when per-cell reports
 	// are on; each job copies its counter map out after the run.
 	var collectors []*metrics.Collector
 	if p.cfg.ReportDir != "" {
-		collectors = make([]*metrics.Collector, len(engines))
+		collectors = make([]*metrics.Collector, numWorkers)
 	}
+	// The watchdog gets one progress channel per worker plus one for the
+	// sequential retry pass. Each index of skipped is written by at most
+	// one worker and read only after the pool joins.
+	var watches []*des.Watch
+	if p.cfg.StallBudget > 0 && len(jobs) > 0 {
+		watches = make([]*des.Watch, numWorkers+1)
+		for i := range watches {
+			watches[i] = new(des.Watch)
+		}
+		stop := watchStalls(watches, p.cfg.StallBudget)
+		defer stop()
+	}
+	skipped := make([]bool, len(jobs))
 	panics := sim.ParallelForWorkers(len(jobs), p.cfg.Workers, func(worker, i int) {
+		if p.interrupted() {
+			skipped[i] = true
+			return
+		}
 		eng := engines[worker]
 		if eng == nil {
 			eng = sim.NewEngine()
+			if watches != nil {
+				eng.SetWatch(watches[worker])
+			}
 		}
 		// Leave the slot empty until the run returns: an engine that
 		// panicked mid-run holds arbitrary partial state and must not be
 		// reused warm by this worker's next job (see sim.RunReplications).
 		engines[worker] = nil
 		j := jobs[i]
-		sc := j.c.sc
-		sc.Seed += uint64(j.rep)
-		if j.c.discovery {
-			j.c.dres[j.rep], j.c.errs[j.rep] = eng.RunDiscovery(sc, j.c.rounds, j.c.gap)
-		} else if collectors != nil {
-			col := collectors[worker]
+		var col *metrics.Collector
+		if collectors != nil && !j.c.discovery {
+			col = collectors[worker]
 			if col == nil {
 				col = metrics.NewCollector(0)
 				collectors[worker] = col
 			}
-			j.c.results[j.rep], j.c.errs[j.rep] = eng.RunObserved(sc, nil, col)
-			if j.c.errs[j.rep] == nil {
-				j.c.counters[j.rep] = col.Counters().Map()
-			}
-		} else {
-			j.c.results[j.rep], j.c.errs[j.rep] = eng.Run(sc)
 		}
+		if watches != nil {
+			watches[worker].BeginJob()
+			defer watches[worker].EndJob()
+		}
+		j.c.errs[j.rep] = p.runJob(j.c, j.rep, eng, col)
 		engines[worker] = eng
 		if p.cfg.Progress != nil {
 			p.cfg.Progress.JobDone(j.c.label)
@@ -173,8 +364,27 @@ func (p *planner) run() error {
 			jobs[i].c.errs[jobs[i].rep] = err
 		}
 	}
+	for i := range jobs {
+		if skipped[i] {
+			jobs[i].c.skipped = true
+		}
+	}
+	if p.cfg.Retries > 0 && !p.interrupted() {
+		var retryWatch *des.Watch
+		if watches != nil {
+			retryWatch = watches[numWorkers]
+		}
+		p.retryFailed(retryWatch)
+	}
 	var failures []CellFailure
+	interrupted := false
 	for _, c := range p.cells {
+		if c.skipped {
+			// Some replications never ran: not a failure, just unfinished
+			// work a resumed sweep will pick up.
+			interrupted = true
+			continue
+		}
 		clean := true
 		for r, err := range c.errs {
 			if err != nil {
@@ -186,15 +396,19 @@ func (p *planner) run() error {
 		}
 		if clean {
 			c.finalize(c)
-			if p.cfg.ReportDir != "" {
+			if p.cfg.ReportDir != "" && !c.loaded {
 				if err := writeCellReport(p.cfg.ReportDir, c); err != nil {
 					failures = append(failures, CellFailure{Label: c.label, Seed: c.sc.Seed, Err: err})
 				}
 			}
 		}
 	}
+	var errs []error
 	if len(failures) > 0 {
-		return &PartialError{Failures: failures}
+		errs = append(errs, &PartialError{Failures: failures})
 	}
-	return nil
+	if interrupted {
+		errs = append(errs, ErrInterrupted)
+	}
+	return errors.Join(errs...)
 }

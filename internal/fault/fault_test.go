@@ -185,3 +185,58 @@ func TestLinkModelIndependentLinks(t *testing.T) {
 		t.Fatal("directed links 0→1 and 1→0 never diverged")
 	}
 }
+
+// TestDrawScheduleMTTRDefault pins the MeanDownTime=0 edge: churn with no
+// explicit MTTR defaults to a 10 s mean downtime, so every crash→recover
+// gap lands in the [0.5, 1.5]×10 s draw window.
+func TestDrawScheduleMTTRDefault(t *testing.T) {
+	cfg := Config{MeanUpTime: 20 * des.Second} // MeanDownTime left zero
+	horizon := 300 * des.Second
+	events := cfg.DrawSchedule(8, horizon, rng.New(11))
+	lastCrash := map[int]des.Time{}
+	gaps := 0
+	for _, ev := range events {
+		if !ev.Up {
+			lastCrash[ev.Node] = ev.At
+			continue
+		}
+		at, ok := lastCrash[ev.Node]
+		if !ok {
+			t.Fatalf("recover without preceding crash: %+v", ev)
+		}
+		gap := ev.At - at
+		if gap < 5*des.Second || gap > 15*des.Second {
+			t.Fatalf("node %d downtime %v outside the [5s,15s] default-MTTR window", ev.Node, gap)
+		}
+		gaps++
+	}
+	if gaps == 0 {
+		t.Fatal("no crash→recover pairs over a 300 s horizon")
+	}
+}
+
+// TestDrawScheduleCrashOnCrashedNode pins the merge of explicit events
+// with drawn churn: a second crash aimed at a node that is already down
+// is kept in the schedule (Node.Crash is idempotent downstream), and
+// same-instant recover events still sort before crashes so a
+// crash+recover collision leaves the node down deterministically.
+func TestDrawScheduleCrashOnCrashedNode(t *testing.T) {
+	cfg := Config{Schedule: []NodeEvent{
+		{Node: 2, At: 3 * des.Second, Up: false},
+		{Node: 2, At: 5 * des.Second, Up: false}, // crash while already down
+		{Node: 2, At: 8 * des.Second, Up: true},
+		{Node: 2, At: 8 * des.Second, Up: false}, // same-instant collision
+	}}
+	events := cfg.DrawSchedule(4, 60*des.Second, rng.New(3))
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want all 4 kept: %+v", len(events), events)
+	}
+	if !events[0].Up && !events[1].Up && events[0].At == 3*des.Second && events[1].At == 5*des.Second {
+		// both crashes retained in order
+	} else {
+		t.Fatalf("double crash reordered or dropped: %+v", events[:2])
+	}
+	if !events[2].Up || events[3].Up {
+		t.Fatalf("same-instant events not recover-before-crash: %+v", events[2:])
+	}
+}

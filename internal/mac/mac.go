@@ -318,16 +318,24 @@ func (m *Mac) QueueLen() int {
 	return n
 }
 
+// HeldPackets reports how many pooled packets the MAC currently owns —
+// the queued payloads plus the frame in service. The auditor's
+// packet-conservation check sums this with the routing layer's holdings
+// against the pool's live-borrow ledger.
+func (m *Mac) HeldPackets() int { return m.QueueLen() }
+
 // Send submits a packet for transmission to nextHop (pkt.Broadcast for
 // link-layer broadcast). The packet joins the drop-tail interface queue;
 // drops are counted, not reported.
 func (m *Mac) Send(p *pkt.Packet, nextHop pkt.NodeID) {
 	if m.down {
 		m.Ctr.DroppedDown++
+		m.pool.Release(p)
 		return
 	}
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.Ctr.DroppedQueueFull++
+		m.pool.Release(p)
 		return
 	}
 	f := m.newFrame()

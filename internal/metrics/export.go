@@ -99,6 +99,12 @@ type RunReport struct {
 
 	Counters map[string]uint64  `json:"counters"`
 	Metrics  map[string]float64 `json:"metrics"`
+
+	// Diagnostics are resource-behaviour counters (pool drops, free-list
+	// overflow, audible-set rebuilds) kept outside the deterministic
+	// Counters contract — on a warm engine their values depend on what the
+	// previous run left pooled.
+	Diagnostics map[string]uint64 `json:"diagnostics,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON (map keys sorted by

@@ -123,6 +123,14 @@ type Collector struct {
 
 	reg Registry
 
+	// diag is a second registry for diagnostics: counters that are useful
+	// for debugging resource behaviour (pool drops, free-list overflow,
+	// audible-set rebuilds) but are NOT part of the deterministic golden
+	// counter contract — their values may depend on what a warm engine
+	// carried over, so they are reported separately and never compared
+	// across runs.
+	diag Registry
+
 	// Run envelope, filled by FinishRun.
 	simTime des.Time
 	events  uint64
@@ -146,6 +154,7 @@ func (c *Collector) Begin(n int) {
 	c.times = c.times[:0]
 	c.samples = c.samples[:0]
 	c.reg.Reset()
+	c.diag.Reset()
 	c.simTime = 0
 	c.events = 0
 	c.wall = 0
@@ -168,8 +177,16 @@ func (c *Collector) Set(node int, s Sample) {
 // Add increments a named monotonic counter (e.g. "mac/retries").
 func (c *Collector) Add(name string, v uint64) { c.reg.Add(name, v) }
 
+// AddDiag increments a named diagnostic counter (e.g. "pkt/pool-drops").
+// Diagnostics are excluded from Counters and from the golden counter
+// contract; see the diag field.
+func (c *Collector) AddDiag(name string, v uint64) { c.diag.Add(name, v) }
+
 // Counters exposes the counter registry.
 func (c *Collector) Counters() *Registry { return &c.reg }
+
+// Diagnostics exposes the diagnostics registry.
+func (c *Collector) Diagnostics() *Registry { return &c.diag }
 
 // Ticks returns the number of sampling instants recorded.
 func (c *Collector) Ticks() int { return len(c.times) }

@@ -29,6 +29,13 @@ import "clnlr/internal/des"
 type Pool struct {
 	data, rreq, rrep, rerr, hello []*Packet
 	drops                         uint64
+
+	// live is the audit-mode borrow ledger: every packet handed out by
+	// this pool and not yet released. nil (the default) disables the
+	// ledger entirely; Release then costs one nil check, preserving the
+	// zero-overhead contract of audit-off runs.
+	live        map[*Packet]struct{}
+	doubleFrees uint64
 }
 
 // PoolCap bounds each free list; beyond it, released packets fall to the
@@ -45,6 +52,49 @@ func (pl *Pool) Drops() uint64 {
 		return 0
 	}
 	return pl.drops
+}
+
+// SetAudit enables or disables the live-borrow ledger. Enabling starts a
+// fresh ledger (and zeroes the double-free counter), so it must be called
+// before the run hands out any packets; disabling drops the ledger.
+func (pl *Pool) SetAudit(on bool) {
+	if pl == nil {
+		return
+	}
+	if on {
+		pl.live = make(map[*Packet]struct{})
+		pl.doubleFrees = 0
+		return
+	}
+	pl.live = nil
+}
+
+// LiveBorrowed reports how many packets are currently borrowed from the
+// pool and not yet released. Zero (and meaningless) unless auditing.
+func (pl *Pool) LiveBorrowed() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.live)
+}
+
+// DoubleFrees reports how many Release calls named a packet that was not
+// live — a double free or a release through the wrong pool. Only counted
+// while auditing.
+func (pl *Pool) DoubleFrees() uint64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.doubleFrees
+}
+
+// tracked records p in the live-borrow ledger when auditing and returns
+// it; every pool exit point (constructors and Clone) funnels through it.
+func (pl *Pool) tracked(p *Packet) *Packet {
+	if pl.live != nil {
+		pl.live[p] = struct{}{}
+	}
+	return p
 }
 
 // Len reports the total number of packets currently pooled.
@@ -80,6 +130,15 @@ func (pl *Pool) Release(p *Packet) {
 	if pl == nil || p == nil {
 		return
 	}
+	if pl.live != nil {
+		if _, ok := pl.live[p]; !ok {
+			// Double free (or a foreign packet): pooling it again would
+			// hand the same pointer out twice, so count and refuse.
+			pl.doubleFrees++
+			return
+		}
+		delete(pl.live, p)
+	}
 	switch {
 	case p.RREQ != nil:
 		pl.put(&pl.rreq, p)
@@ -101,7 +160,7 @@ func (pl *Pool) Data(src, dst NodeID, payload, flow, seq int, now des.Time, ttl 
 	}
 	p := take(&pl.data)
 	if p == nil {
-		return NewData(src, dst, payload, flow, seq, now, ttl)
+		return pl.tracked(NewData(src, dst, payload, flow, seq, now, ttl))
 	}
 	*p = Packet{
 		Kind:      Data,
@@ -113,7 +172,7 @@ func (pl *Pool) Data(src, dst NodeID, payload, flow, seq int, now des.Time, ttl 
 		FlowID:    flow,
 		Seq:       seq,
 	}
-	return p
+	return pl.tracked(p)
 }
 
 // RREQ is the pooled NewRREQ.
@@ -123,7 +182,7 @@ func (pl *Pool) RREQ(body RREQBody, now des.Time, ttl int) *Packet {
 	}
 	p := take(&pl.rreq)
 	if p == nil {
-		return NewRREQ(body, now, ttl)
+		return pl.tracked(NewRREQ(body, now, ttl))
 	}
 	b := p.RREQ
 	*b = body
@@ -136,7 +195,7 @@ func (pl *Pool) RREQ(body RREQBody, now des.Time, ttl int) *Packet {
 		CreatedAt: now,
 		RREQ:      b,
 	}
-	return p
+	return pl.tracked(p)
 }
 
 // RREP is the pooled NewRREP.
@@ -146,7 +205,7 @@ func (pl *Pool) RREP(src NodeID, body RREPBody, now des.Time, ttl int) *Packet {
 	}
 	p := take(&pl.rrep)
 	if p == nil {
-		return NewRREP(src, body, now, ttl)
+		return pl.tracked(NewRREP(src, body, now, ttl))
 	}
 	b := p.RREP
 	*b = body
@@ -159,7 +218,7 @@ func (pl *Pool) RREP(src NodeID, body RREPBody, now des.Time, ttl int) *Packet {
 		CreatedAt: now,
 		RREP:      b,
 	}
-	return p
+	return pl.tracked(p)
 }
 
 // RERR is the pooled NewRERR; the unreachable list is copied into the
@@ -170,7 +229,7 @@ func (pl *Pool) RERR(src NodeID, unreachable []UnreachableDest, now des.Time) *P
 	}
 	p := take(&pl.rerr)
 	if p == nil {
-		return NewRERR(src, unreachable, now)
+		return pl.tracked(NewRERR(src, unreachable, now))
 	}
 	b := p.RERR
 	b.Unreachable = append(b.Unreachable[:0], unreachable...)
@@ -183,7 +242,7 @@ func (pl *Pool) RERR(src NodeID, unreachable []UnreachableDest, now des.Time) *P
 		CreatedAt: now,
 		RERR:      b,
 	}
-	return p
+	return pl.tracked(p)
 }
 
 // Hello is the pooled NewHello; the piggybacked neighbour loads are
@@ -194,7 +253,7 @@ func (pl *Pool) Hello(src NodeID, body HelloBody, now des.Time) *Packet {
 	}
 	p := take(&pl.hello)
 	if p == nil {
-		return NewHello(src, body, now)
+		return pl.tracked(NewHello(src, body, now))
 	}
 	b := p.Hello
 	b.Load = body.Load
@@ -208,7 +267,7 @@ func (pl *Pool) Hello(src NodeID, body HelloBody, now des.Time) *Packet {
 		CreatedAt: now,
 		Hello:     b,
 	}
-	return p
+	return pl.tracked(p)
 }
 
 // Clone is the pooled Packet.Clone: same deep-copy semantics, recycled
@@ -221,50 +280,50 @@ func (pl *Pool) Clone(p *Packet) *Packet {
 	case p.RREQ != nil:
 		q := take(&pl.rreq)
 		if q == nil {
-			return p.Clone()
+			return pl.tracked(p.Clone())
 		}
 		b := q.RREQ
 		*b = *p.RREQ
 		*q = *p
 		q.RREQ = b
-		return q
+		return pl.tracked(q)
 	case p.RREP != nil:
 		q := take(&pl.rrep)
 		if q == nil {
-			return p.Clone()
+			return pl.tracked(p.Clone())
 		}
 		b := q.RREP
 		*b = *p.RREP
 		*q = *p
 		q.RREP = b
-		return q
+		return pl.tracked(q)
 	case p.RERR != nil:
 		q := take(&pl.rerr)
 		if q == nil {
-			return p.Clone()
+			return pl.tracked(p.Clone())
 		}
 		b := q.RERR
 		b.Unreachable = append(b.Unreachable[:0], p.RERR.Unreachable...)
 		*q = *p
 		q.RERR = b
-		return q
+		return pl.tracked(q)
 	case p.Hello != nil:
 		q := take(&pl.hello)
 		if q == nil {
-			return p.Clone()
+			return pl.tracked(p.Clone())
 		}
 		b := q.Hello
 		b.Load = p.Hello.Load
 		b.NbrLoads = append(b.NbrLoads[:0], p.Hello.NbrLoads...)
 		*q = *p
 		q.Hello = b
-		return q
+		return pl.tracked(q)
 	default:
 		q := take(&pl.data)
 		if q == nil {
-			return p.Clone()
+			return pl.tracked(p.Clone())
 		}
 		*q = *p
-		return q
+		return pl.tracked(q)
 	}
 }

@@ -173,3 +173,67 @@ func TestNilPoolFallsBack(t *testing.T) {
 		t.Error("nil-pool Clone is not an independent deep copy")
 	}
 }
+
+// TestPoolLedgerTracksBorrows pins the audit ledger: every constructor
+// and Clone registers the packet as live, Release retires it.
+func TestPoolLedgerTracksBorrows(t *testing.T) {
+	pl := NewPool()
+	pl.SetAudit(true)
+	var ps []*Packet
+	ps = append(ps,
+		pl.Data(1, 2, 512, 3, 7, des.Second, 16),
+		pl.RREQ(RREQBody{ID: 9, Origin: 1, Target: 5}, des.Second, 20),
+		pl.Hello(2, HelloBody{Load: 0.7}, des.Second),
+	)
+	ps = append(ps, pl.Clone(ps[0]), pl.Clone(ps[1]))
+	if got := pl.LiveBorrowed(); got != len(ps) {
+		t.Fatalf("LiveBorrowed = %d, want %d", got, len(ps))
+	}
+	for _, p := range ps {
+		pl.Release(p)
+	}
+	if got := pl.LiveBorrowed(); got != 0 {
+		t.Fatalf("LiveBorrowed = %d after releasing everything, want 0", got)
+	}
+	if pl.DoubleFrees() != 0 {
+		t.Fatalf("clean borrow/release cycle counted %d double frees", pl.DoubleFrees())
+	}
+}
+
+// TestPoolLedgerDoubleFree pins double-free detection: the second Release
+// of one packet is counted and refused (the packet is not re-pooled, so
+// the free list cannot hand the same pointer out twice).
+func TestPoolLedgerDoubleFree(t *testing.T) {
+	pl := NewPool()
+	pl.SetAudit(true)
+	p := pl.Data(1, 2, 64, 0, 0, des.Second, 16)
+	pl.Release(p)
+	lenAfterFirst := pl.Len()
+	pl.Release(p)
+	if got := pl.DoubleFrees(); got != 1 {
+		t.Fatalf("DoubleFrees = %d, want 1", got)
+	}
+	if pl.Len() != lenAfterFirst {
+		t.Fatalf("double free re-pooled the packet (len %d -> %d)", lenAfterFirst, pl.Len())
+	}
+}
+
+// TestPoolLedgerDisarm pins SetAudit(false): the ledger is dropped and
+// the pool returns to untracked operation.
+func TestPoolLedgerDisarm(t *testing.T) {
+	pl := NewPool()
+	pl.SetAudit(true)
+	p := pl.Data(1, 2, 64, 0, 0, des.Second, 16)
+	pl.SetAudit(false)
+	if pl.LiveBorrowed() != 0 || pl.DoubleFrees() != 0 {
+		t.Fatal("disarmed pool still reports ledger state")
+	}
+	pl.Release(p) // must re-pool normally with the ledger off
+	if pl.Len() == 0 {
+		t.Fatal("disarmed pool dropped a released packet")
+	}
+	q := pl.Data(3, 4, 64, 0, 0, des.Second, 16)
+	if q != p {
+		t.Fatal("disarmed pool did not reuse the released packet")
+	}
+}

@@ -1,0 +1,128 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// AuditCoherence cross-checks the Medium's dense hot state — the radio
+// leg of the runtime auditor (Scenario.Audit). It verifies:
+//
+//   - every per-radio dense slice has one entry per attached radio;
+//   - txing[id] agrees with txOf[id], and the in-flight count matches;
+//   - each in-flight transmission's back-indices are intact: touched,
+//     rxPower and liveAt are parallel, and liveAt[i] points at the
+//     matching liveArrival in lives[touched[i]];
+//   - each liveArrival points back at a transmission that is still in
+//     flight at its source, at the slot that points here;
+//   - the locked-on arrival (current) references an in-flight frame;
+//   - energy[rx] equals the sum of live arrival powers (to float
+//     tolerance — the incremental add/subtract bookkeeping drifts by
+//     ulps, never by a term);
+//   - every audible set at the current epoch is ID-sorted, self-free,
+//     in range, and has parallel member slices.
+//
+// Read-only; returns the first violation found, or nil.
+func (m *Medium) AuditCoherence() error {
+	n := len(m.radios)
+	for _, l := range []struct {
+		name string
+		len  int
+	}{
+		{"rfp", len(m.rfp)}, {"chans", len(m.chans)}, {"downs", len(m.downs)},
+		{"txing", len(m.txing)}, {"busys", len(m.busys)}, {"energy", len(m.energy)},
+		{"current", len(m.current)}, {"lives", len(m.lives)}, {"txOf", len(m.txOf)},
+		{"listeners", len(m.listeners)}, {"aud", len(m.aud)},
+	} {
+		if l.len != n {
+			return fmt.Errorf("radio: audit: %d radios but len(%s)=%d", n, l.name, l.len)
+		}
+	}
+
+	inFlight := 0
+	for id := 0; id < n; id++ {
+		t := m.txOf[id]
+		if m.txing[id] != (t != nil) {
+			return fmt.Errorf("radio: audit: radio %d txing=%v but txOf nil=%v", id, m.txing[id], t == nil)
+		}
+		if t == nil {
+			continue
+		}
+		inFlight++
+		if int(t.src) != id {
+			return fmt.Errorf("radio: audit: radio %d in-flight transmission claims src %d", id, t.src)
+		}
+		if len(t.touched) != len(t.rxPower) || len(t.touched) != len(t.liveAt) {
+			return fmt.Errorf("radio: audit: radio %d transmission slices not parallel (%d/%d/%d)",
+				id, len(t.touched), len(t.rxPower), len(t.liveAt))
+		}
+		for i, rx := range t.touched {
+			if rx < 0 || int(rx) >= n {
+				return fmt.Errorf("radio: audit: radio %d touches out-of-range receiver %d", id, rx)
+			}
+			k := t.liveAt[i]
+			if k < 0 || int(k) >= len(m.lives[rx]) {
+				return fmt.Errorf("radio: audit: radio %d liveAt[%d]=%d outside lives[%d] (len %d)",
+					id, i, k, rx, len(m.lives[rx]))
+			}
+			la := m.lives[rx][k]
+			if la.t != t || la.ti != int32(i) || la.p != t.rxPower[i] {
+				return fmt.Errorf("radio: audit: radio %d back-index broken at receiver %d slot %d", id, rx, k)
+			}
+		}
+	}
+	if inFlight != m.txInFlight {
+		return fmt.Errorf("radio: audit: txInFlight=%d but %d transmissions in flight", m.txInFlight, inFlight)
+	}
+
+	for rx := 0; rx < n; rx++ {
+		sum := 0.0
+		for k, la := range m.lives[rx] {
+			if la.t == nil {
+				return fmt.Errorf("radio: audit: receiver %d live arrival %d has nil transmission", rx, k)
+			}
+			src := int(la.t.src)
+			if src < 0 || src >= n || m.txOf[src] != la.t {
+				return fmt.Errorf("radio: audit: receiver %d hears a transmission not in flight at source %d", rx, src)
+			}
+			if int(la.ti) >= len(la.t.touched) || la.t.touched[la.ti] != int32(rx) || la.t.liveAt[la.ti] != int32(k) {
+				return fmt.Errorf("radio: audit: receiver %d live arrival %d reverse back-index broken", rx, k)
+			}
+			sum += la.p
+		}
+		if diff := math.Abs(m.energy[rx] - sum); diff > 1e-6*sum+1e-18 {
+			return fmt.Errorf("radio: audit: receiver %d energy %g but live arrivals sum to %g", rx, m.energy[rx], sum)
+		}
+		if cur := m.current[rx].t; cur != nil {
+			src := int(cur.src)
+			if src < 0 || src >= n || m.txOf[src] != cur {
+				return fmt.Errorf("radio: audit: receiver %d locked onto a transmission not in flight", rx)
+			}
+		}
+	}
+
+	for id := 0; id < n; id++ {
+		a := &m.aud[id]
+		if a.epoch != m.audEpoch {
+			continue // stale or never built: rebuilt lazily, contents unused
+		}
+		if len(a.rxID) != len(a.power) || len(a.rxID) != len(a.refOK) {
+			return fmt.Errorf("radio: audit: radio %d audible set slices not parallel (%d/%d/%d)",
+				id, len(a.rxID), len(a.power), len(a.refOK))
+		}
+		prev := int32(-1)
+		for _, rid := range a.rxID {
+			if rid < 0 || int(rid) >= n {
+				return fmt.Errorf("radio: audit: radio %d audible set member %d out of range", id, rid)
+			}
+			if int(rid) == id {
+				return fmt.Errorf("radio: audit: radio %d audible set contains itself", id)
+			}
+			if rid <= prev {
+				return fmt.Errorf("radio: audit: radio %d audible set not strictly ID-sorted at %d", id, rid)
+			}
+			prev = rid
+		}
+	}
+	return nil
+}

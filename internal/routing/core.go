@@ -318,6 +318,36 @@ func (c *Core) Start() {
 // Policy returns the scheme policy (exposed for tests and reports).
 func (c *Core) Policy() RREQPolicy { return c.policy }
 
+// SeqNo returns the node's own AODV sequence number. RFC 3561 §6.1 (and
+// the process-algebra invariants of Fehnker et al.) require it to be
+// monotone — it survives even a Crash — which the auditor checks.
+func (c *Core) SeqNo() uint32 { return c.seq }
+
+// TestSetSeq overwrites the own sequence number. Mutation-test hook for
+// the invariant auditor only; production code never calls it.
+func (c *Core) TestSetSeq(v uint32) { c.seq = v }
+
+// HeldPackets reports how many pooled packets the routing layer
+// currently owns: discovery buffers, jitter-deferred rebroadcasts, and
+// whatever the scheme policy retains across events (PacketHolder).
+func (c *Core) HeldPackets() int {
+	n := 0
+	for _, d := range c.pending {
+		if d != nil {
+			n += len(d.buffer)
+		}
+	}
+	for _, p := range c.deferred {
+		if p != nil {
+			n++
+		}
+	}
+	if h, ok := c.policy.(PacketHolder); ok {
+		n += h.HeldPackets()
+	}
+	return n
+}
+
 // tracef emits a structured routing event when tracing is enabled. The
 // detail string is only formatted when a sink is installed.
 func (c *Core) tracef(event, format string, args ...any) {
@@ -639,6 +669,15 @@ func (c *Core) handleRREP(p *pkt.Packet, from pkt.NodeID) {
 	defer c.Env.Pool.Release(p)
 	c.Ctr.RREPReceived++
 	b := p.RREP
+	if b.Target == c.Env.ID {
+		// The reply names this node as its own destination: a reverse
+		// route upstream was displaced by a better flood copy that
+		// arrived through us, steering the RREP back into its target.
+		// Installing the forward route would give this node a route to
+		// itself, and forwarding would ping-pong until TTL death — drop;
+		// the origin either heard a healthy copy or retries discovery.
+		return
+	}
 	// Install/refresh the forward route to the target.
 	c.table.Update(Route{
 		Dst:      b.Target,

@@ -75,6 +75,10 @@ func (p *Policy) OnRREQ(c *routing.Core, pk *pkt.Packet, from pkt.NodeID, first 
 // CostIncrement implements routing.RREQPolicy: hop count.
 func (p *Policy) CostIncrement(*routing.Core) float64 { return 1 }
 
+// HeldPackets implements routing.PacketHolder: one retained clone per
+// in-progress assessment.
+func (p *Policy) HeldPackets() int { return len(p.pending) }
+
 // New builds a counter-based agent with shared default configuration.
 func New(env routing.Env, params Params) *routing.Core {
 	return NewWithConfig(env, routing.DefaultConfig(), params)

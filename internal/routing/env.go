@@ -62,6 +62,15 @@ type RREQPolicy interface {
 	CostIncrement(c *Core) float64
 }
 
+// PacketHolder is implemented by components that retain pooled packets
+// across events — the routing core, the MAC queue, and any deferring
+// RREQPolicy (the counter scheme's assessments). The invariant auditor
+// sums holdings against the pool's live-borrow ledger to detect leaks.
+type PacketHolder interface {
+	// HeldPackets reports how many pooled packets are currently retained.
+	HeldPackets() int
+}
+
 // Counters tallies routing-layer events for the measurement harness.
 type Counters struct {
 	// Route-request traffic.

@@ -127,3 +127,60 @@ func TestNeighborTableRemoveClearsSlot(t *testing.T) {
 		t.Errorf("stale two-hop table survived Remove: NL = %v, want 0.1", got)
 	}
 }
+
+// nopPolicy satisfies RREQPolicy for white-box Core tests that never
+// originate or forward floods.
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string                                { return "nop" }
+func (nopPolicy) OnRREQ(*Core, *pkt.Packet, pkt.NodeID, bool) {}
+func (nopPolicy) CostIncrement(*Core) float64                 { return 1 }
+
+// bareCore builds a Core with no MAC or pool attached — enough to drive
+// receive paths that terminate before any transmission.
+func bareCore(sim *des.Sim, id pkt.NodeID) *Core {
+	cfg := DefaultConfig()
+	c := &Core{
+		table:      NewTable(sim),
+		dup:        NewDupCache(sim, cfg.DupHorizon),
+		nbrs:       NewNeighborTable(sim, 0),
+		replyWaits: make(map[rreqKey]*replyWait),
+	}
+	c.Env = Env{Sim: sim, ID: id}
+	c.Cfg = cfg
+	c.policy = nopPolicy{}
+	return c
+}
+
+// TestRREPForOwnTargetDropped pins the self-route guard: a route reply
+// that loops back into its own target (possible when an upstream reverse
+// route is displaced by a better flood copy that arrived through the
+// target) must be discarded, never installed as a route to self. Found by
+// the runtime auditor's routing/next-hop invariant under saturation.
+func TestRREPForOwnTargetDropped(t *testing.T) {
+	sim := des.NewSim()
+	c := bareCore(sim, 7)
+	p := &pkt.Packet{Kind: pkt.RREP, TTL: 5, RREP: &pkt.RREPBody{
+		Origin: 3, Target: 7, TargetSeq: 4, HopCount: 2, Cost: 2,
+		Lifetime: des.Second,
+	}}
+	c.handleRREP(p, 5)
+	if r := c.table.Get(7); r != nil {
+		t.Fatalf("RREP for own target installed a route to self: %+v", r)
+	}
+	if c.Ctr.RREPForwarded != 0 {
+		t.Fatal("RREP for own target was forwarded")
+	}
+
+	// Control: the same reply naming another node as target installs the
+	// forward route as usual.
+	q := &pkt.Packet{Kind: pkt.RREP, TTL: 5, RREP: &pkt.RREPBody{
+		Origin: 3, Target: 9, TargetSeq: 4, HopCount: 2, Cost: 2,
+		Lifetime: des.Second,
+	}}
+	c.handleRREP(q, 5)
+	r := c.table.Lookup(9)
+	if r == nil || r.NextHop != 5 || r.HopCount != 3 {
+		t.Fatalf("ordinary RREP not installed: %+v", r)
+	}
+}

@@ -72,14 +72,27 @@ func (t *Table) slot(dst pkt.NodeID) *tableEntry {
 	return e
 }
 
+// expire lazily finalises an entry whose lifetime has passed: the route
+// becomes unusable and, per AODV, its stored sequence number is bumped —
+// exactly as Invalidate does — so an in-flight advertisement derived from
+// the expired route (same seq) can no longer re-install it.
+func (t *Table) expire(r *Route) {
+	if r.Valid && r.Expires <= t.sim.Now() {
+		r.Valid = false
+		if r.SeqValid {
+			r.Seq++
+		}
+	}
+}
+
 // Lookup returns the valid, unexpired route to dst, or nil.
 func (t *Table) Lookup(dst pkt.NodeID) *Route {
 	e := t.slot(dst)
-	if e == nil || !e.r.Valid {
+	if e == nil {
 		return nil
 	}
-	if e.r.Expires <= t.sim.Now() {
-		e.r.Valid = false
+	t.expire(&e.r)
+	if !e.r.Valid {
 		return nil
 	}
 	return &e.r
@@ -115,6 +128,7 @@ func (t *Table) Update(cand Route) bool {
 		return true
 	}
 	cur := &e.r
+	t.expire(cur)
 	if t.better(cand, cur) {
 		// Preserve the highest sequence number ever seen.
 		if cur.SeqValid && !cand.SeqValid {
@@ -131,11 +145,16 @@ func (t *Table) Update(cand Route) bool {
 	return false
 }
 
-// better reports whether cand should replace cur.
+// better reports whether cand should replace cur. The caller has already
+// run expire(cur), so a dead entry's stored Seq is the bumped one.
 func (t *Table) better(cand Route, cur *Route) bool {
-	if !cur.Valid || cur.Expires <= t.sim.Now() {
-		return true
-	}
+	// Freshness first — even a dead entry remembers the newest sequence
+	// number seen (bumped on expiry and invalidation), and a staler
+	// advertisement must never displace that knowledge. Short-circuiting
+	// on !cur.Valid here is exactly how a control packet that outlives
+	// the route it advertised (seconds in a congested MAC queue) used to
+	// re-install it and form a persistent two-node loop, caught by the
+	// runtime auditor's routing/loop invariant.
 	switch {
 	case cand.SeqValid && cur.SeqValid:
 		if pkt.SeqNewer(cand.Seq, cur.Seq) {
@@ -145,11 +164,26 @@ func (t *Table) better(cand Route, cur *Route) bool {
 			return false
 		}
 	case !cand.SeqValid && cur.SeqValid:
-		return false
+		// A sequence-less candidate may only refresh a dead entry.
+		return !cur.Valid
 	case cand.SeqValid && !cur.SeqValid:
 		return true
 	}
-	// Same freshness: compare quality.
+	// Equal freshness: a usable route always beats a dead one.
+	if !cur.Valid {
+		return true
+	}
+	// Same freshness: compare quality — but never along a longer path.
+	// At an equal sequence number, AODV's loop-freedom argument rests on
+	// hop counts strictly decreasing toward the destination; accepting a
+	// longer route because its load cost is momentarily lower lets two
+	// relays of one RREQ flood adopt each other as next hop for the
+	// origin (a persistent two-node loop the runtime auditor flags as
+	// routing/loop). Cost therefore only arbitrates between candidates
+	// that do not lengthen the path.
+	if cand.HopCount > cur.HopCount {
+		return false
+	}
 	const eps = 1e-9
 	if cand.Cost < cur.Cost-eps {
 		return true
@@ -204,3 +238,14 @@ func (t *Table) InvalidateVia(via pkt.NodeID) []pkt.UnreachableDest {
 
 // Len returns the number of entries (valid or not).
 func (t *Table) Len() int { return t.count }
+
+// Each calls fn for every installed entry (valid or not) in destination
+// order. The pointers alias table storage exactly like Lookup/Get — the
+// auditor uses this for read-only iteration; fn must not call Update.
+func (t *Table) Each(fn func(*Route)) {
+	for i := range t.entries {
+		if t.entries[i].present {
+			fn(&t.entries[i].r)
+		}
+	}
+}

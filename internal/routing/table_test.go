@@ -145,19 +145,31 @@ func TestTableInvalidateVia(t *testing.T) {
 	}
 }
 
-func TestTableStaleRouteReplacedRegardlessOfSeq(t *testing.T) {
+// TestTableExpiredEntryKeepsFreshness pins the loop-freedom rule for dead
+// entries: expiry bumps the stored sequence number (like Invalidate), and
+// a stale advertisement — one derived from the route before it expired, so
+// carrying the old seq — must not re-install it. Only equal-or-fresher
+// information may resurrect the destination.
+func TestTableExpiredEntryKeepsFreshness(t *testing.T) {
 	sim := des.NewSim()
 	tb := NewTable(sim)
 	tb.Update(route(5, 2, 100, 1, 1, des.Millisecond))
 	sim.Schedule(des.Second, func() {
-		// Entry expired: even an older-seq candidate may install.
-		if !tb.Update(route(5, 3, 50, 2, 2, sim.Now()+des.Second)) {
-			t.Error("candidate rejected against expired entry")
+		// A copy of the expired route, still in flight: rejected.
+		if tb.Update(route(5, 3, 100, 2, 2, sim.Now()+des.Second)) {
+			t.Error("stale-seq candidate accepted against expired entry")
+		}
+		if r := tb.Get(5); r.Valid || r.Seq != 101 {
+			t.Errorf("expired entry not finalised with bumped seq: %+v", r)
+		}
+		// Information at the bumped seq (a fresh discovery) installs.
+		if !tb.Update(route(5, 4, 101, 2, 2, sim.Now()+des.Second)) {
+			t.Error("fresh candidate rejected against expired entry")
 		}
 	})
 	sim.Run()
-	if tb.Get(5).NextHop != 3 {
-		t.Fatal("expired entry not replaced")
+	if r := tb.Lookup(5); r == nil || r.NextHop != 4 {
+		t.Fatalf("expired entry not resurrected by fresh route: %+v", r)
 	}
 }
 
@@ -315,5 +327,30 @@ func TestCountersControlSum(t *testing.T) {
 	}
 	if got := c.ControlPacketsSent(); got != 21 {
 		t.Fatalf("ControlPacketsSent = %d", got)
+	}
+}
+
+// TestTableSameSeqLongerPathRejected pins the loop-freedom guard: at an
+// equal sequence number a cheaper route must not displace the current one
+// when it lengthens the path — that is the update that lets two relays of
+// one flood adopt each other as next hop (a persistent two-node loop).
+func TestTableSameSeqLongerPathRejected(t *testing.T) {
+	sim := des.NewSim()
+	tb := NewTable(sim)
+	tb.Update(route(5, 2, 10, 3, 4.0, des.Second))
+	if tb.Update(route(5, 3, 10, 4, 1.0, des.Second)) {
+		t.Fatal("longer path accepted at equal seq on cost alone")
+	}
+	// A strictly newer sequence number may still install the longer,
+	// cheaper route (fresh information resets the hop argument).
+	if !tb.Update(route(5, 3, 11, 4, 1.0, des.Second)) {
+		t.Fatal("fresh longer route rejected")
+	}
+	// And at equal seq a cheaper route over fewer hops still wins.
+	if !tb.Update(route(5, 4, 11, 2, 0.5, des.Second)) {
+		t.Fatal("cheaper shorter route rejected")
+	}
+	if tb.Lookup(5).NextHop != 4 {
+		t.Fatal("wrong winner")
 	}
 }

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"clnlr/internal/audit"
+	"clnlr/internal/des"
+	"clnlr/internal/fault"
+	"clnlr/internal/node"
+	"clnlr/internal/pkt"
+	"clnlr/internal/routing"
+)
+
+// auditScenario is a short, small audited run the mutation tests inject
+// violations into.
+func auditScenario() Scenario {
+	sc := DefaultScenario()
+	sc.Rows, sc.Cols = 5, 5
+	sc.Flows = 5
+	sc.Warmup = des.Second
+	sc.Measure = 2 * des.Second
+	sc.Audit = true
+	return sc
+}
+
+// runMutated runs the audit scenario with hook installed at the prepared
+// point and returns the run error.
+func runMutated(t *testing.T, hook func(simk *des.Sim, nodes []*node.Node)) error {
+	t.Helper()
+	TestHookPrepared = func(simk *des.Sim, nodes []*node.Node, _ Scenario) { hook(simk, nodes) }
+	defer func() { TestHookPrepared = nil }()
+	_, err := Run(auditScenario())
+	return err
+}
+
+// wantOnly asserts err is an audit.Error whose every violation names the
+// one intended invariant — a mutation must trip exactly the checker built
+// for it, not collateral ones.
+func wantOnly(t *testing.T, err error, invariant string) *audit.Error {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("mutated run passed the auditor, want %s violation", invariant)
+	}
+	var ae *audit.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("mutated run failed with %T (%v), want *audit.Error", err, err)
+	}
+	if len(ae.Violations) == 0 {
+		t.Fatal("audit.Error with no violations")
+	}
+	for _, v := range ae.Violations {
+		if v.Invariant != invariant {
+			t.Errorf("collateral violation %s (want only %s): %v", v.Invariant, invariant, v)
+		}
+	}
+	return ae
+}
+
+// TestAuditCleanRun pins the auditor's soundness: an unmutated run across
+// every scheme — including churn, link impairment and mobility — must be
+// violation-free, and the audited Result bit-identical to the unaudited
+// one.
+func TestAuditCleanRun(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		sc := auditScenario().WithScheme(scheme)
+		sc.Faults.MeanUpTime = 2 * des.Second
+		sc.Faults.MeanDownTime = 500 * des.Millisecond
+		sc.Faults.Link = fault.LinkParams{MeanGood: des.Second, MeanBad: 100 * des.Millisecond, LossBad: 0.5}
+		sc.MobilitySpeed = 5
+		r, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: audited clean run failed: %v", scheme, err)
+		}
+		sc.Audit = false
+		r2, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if r != r2 {
+			t.Errorf("%s: audit changed the Result:\n on=%+v\noff=%+v", scheme, r, r2)
+		}
+	}
+}
+
+// TestAuditCatchesSeqDecrement seeds a sequence-number rollback and
+// expects exactly routing/seq-monotone.
+func TestAuditCatchesSeqDecrement(t *testing.T) {
+	err := runMutated(t, func(simk *des.Sim, nodes []*node.Node) {
+		simk.At(450*des.Millisecond, func() {
+			a := nodes[3].Agent
+			// A large decrement so organic increments between audit points
+			// cannot mask the rollback.
+			a.TestSetSeq(a.SeqNo() - 1000)
+		})
+	})
+	wantOnly(t, err, "routing/seq-monotone")
+}
+
+// TestAuditCatchesPacketLeak borrows a pooled packet and drops it on the
+// floor; the conservation ledger must flag the node.
+func TestAuditCatchesPacketLeak(t *testing.T) {
+	err := runMutated(t, func(simk *des.Sim, nodes []*node.Node) {
+		simk.At(450*des.Millisecond, func() {
+			nodes[0].Agent.Env.Pool.Data(0, 1, 64, 0, 0, simk.Now(), 16)
+		})
+	})
+	ae := wantOnly(t, err, "pkt/conservation")
+	if ae.Violations[0].Node != 0 {
+		t.Errorf("leak attributed to node %d, want 0", ae.Violations[0].Node)
+	}
+}
+
+// TestAuditCatchesDoubleFree releases the same packet twice; the ledger
+// must count a double free without breaking conservation.
+func TestAuditCatchesDoubleFree(t *testing.T) {
+	err := runMutated(t, func(simk *des.Sim, nodes []*node.Node) {
+		simk.At(450*des.Millisecond, func() {
+			pool := nodes[1].Agent.Env.Pool
+			p := pool.Data(1, 2, 64, 0, 0, simk.Now(), 16)
+			pool.Release(p)
+			pool.Release(p)
+		})
+	})
+	ae := wantOnly(t, err, "pkt/double-free")
+	if ae.Violations[0].Node != 1 {
+		t.Errorf("double free attributed to node %d, want 1", ae.Violations[0].Node)
+	}
+}
+
+// TestAuditCatchesPastSchedule schedules an event before the clock; the
+// kernel clamps it but the auditor must report the attempt.
+func TestAuditCatchesPastSchedule(t *testing.T) {
+	err := runMutated(t, func(simk *des.Sim, nodes []*node.Node) {
+		simk.At(450*des.Millisecond, func() {
+			simk.At(simk.Now()-des.Millisecond, func() {})
+		})
+	})
+	wantOnly(t, err, "des/past-schedule")
+}
+
+// TestAuditCatchesTwoNodeLoop installs a mutual next-hop pair for one
+// destination; the loop-freedom projection must flag it.
+func TestAuditCatchesTwoNodeLoop(t *testing.T) {
+	err := runMutated(t, func(simk *des.Sim, nodes []*node.Node) {
+		simk.At(450*des.Millisecond, func() {
+			// Fresh huge sequence numbers so AODV's newer-seq-wins rule
+			// accepts both poisoned entries over anything organic.
+			loop := routing.Route{
+				Dst: 5, HopCount: 2, Cost: 2,
+				Seq: 1 << 30, SeqValid: true,
+				Expires: 10 * des.Second, Valid: true,
+			}
+			a := loop
+			a.NextHop = 1
+			nodes[0].Agent.Table().Update(a)
+			b := loop
+			b.NextHop = 0
+			nodes[1].Agent.Table().Update(b)
+		})
+	})
+	ae := wantOnly(t, err, "routing/loop")
+	if !strings.Contains(ae.Violations[0].Detail, "two-node loop") {
+		t.Errorf("unexpected detail: %s", ae.Violations[0].Detail)
+	}
+}
+
+// TestAuditDisarmedPoolNilSafe pins the zero-overhead contract: with
+// auditing off the pool ledger methods are inert and nil-safe.
+func TestAuditDisarmedPoolNilSafe(t *testing.T) {
+	var pl *pkt.Pool
+	pl.SetAudit(true)
+	if pl.LiveBorrowed() != 0 || pl.DoubleFrees() != 0 {
+		t.Fatal("nil pool reported audit state")
+	}
+}

@@ -68,8 +68,20 @@ func (e *Engine) RunDiscovery(sc Scenario, rounds int, gap des.Time) (DiscoveryR
 		return DiscoveryResult{}, err
 	}
 	simk, nodes := e.simk, e.nodes
+	// Pool-ledger arming mirrors RunObserved (see the comment there).
+	if sc.Audit || e.auditArmed {
+		for _, n := range nodes {
+			n.Agent.Env.Pool.SetAudit(sc.Audit)
+		}
+		e.auditArmed = sc.Audit
+	}
 	node.StartAll(nodes)
-	attachFaults(sc, simk, nodes, master, sc.Warmup+des.Time(rounds)*gap)
+	horizon := sc.Warmup + des.Time(rounds)*gap
+	_, _, everCrashed := attachFaults(sc, simk, nodes, master, horizon)
+	var aud *auditor
+	if sc.Audit {
+		aud = e.startAudit(horizon, everCrashed)
+	}
 
 	mgr := traffic.NewManager(simk, nodes, sc.Routing.TTL, 0)
 
@@ -110,7 +122,7 @@ func (e *Engine) RunDiscovery(sc Scenario, rounds int, gap des.Time) (DiscoveryR
 		}
 		mgr.AddProbe(nBackground+i, s, d, sc.PayloadBytes, at)
 	}
-	end := sc.Warmup + des.Time(rounds)*gap
+	end := horizon
 	simk.At(end, func() { rreqAt[rounds] = countRREQ() })
 	simk.RunUntil(end + des.Millisecond)
 
@@ -130,6 +142,11 @@ func (e *Engine) RunDiscovery(sc Scenario, rounds int, gap des.Time) (DiscoveryR
 	res.RREQPerRound = rreq.Mean()
 	res.SuccessRate = float64(success) / float64(rounds)
 	res.MeanLatencySec = lat.Mean()
+	if aud != nil {
+		if aerr := aud.Err(); aerr != nil {
+			return res, aerr
+		}
+	}
 	return res, nil
 }
 

@@ -45,6 +45,13 @@ type Engine struct {
 	placeKey  placementKey
 	positions []geom.Point
 	tp        *topo.Topology
+
+	// watch, when set, is the watchdog progress channel handed to the DES
+	// kernel (surviving network rebuilds); auditArmed remembers whether
+	// the per-node pool ledgers are on, so an audit-off run after an
+	// audited one disarms them exactly once.
+	watch      *des.Watch
+	auditArmed bool
 }
 
 // NewEngine returns an empty engine; the first Run builds the network.
@@ -55,6 +62,22 @@ func NewEngine() *Engine { return &Engine{} }
 // crash-containment tests (here and in the experiments harness) can
 // inject panics into replication jobs; production code never sets it.
 var TestHookRun func(sc Scenario)
+
+// TestHookPrepared, when non-nil, is invoked after the network is built
+// (or warm-reset) and the pools are armed, right before the run starts.
+// It exists solely so the auditor mutation tests and watchdog tests can
+// seed invariant violations or stalls into an otherwise-normal run;
+// production code never sets it.
+var TestHookPrepared func(simk *des.Sim, nodes []*node.Node, sc Scenario)
+
+// SetWatch attaches (or with nil detaches) a watchdog progress channel
+// to this engine's DES kernel, surviving warm resets and rebuilds.
+func (e *Engine) SetWatch(w *des.Watch) {
+	e.watch = w
+	if e.simk != nil {
+		e.simk.SetWatch(w)
+	}
+}
 
 // placementKey captures every scenario field the placement and its
 // connectivity check depend on.
@@ -126,6 +149,7 @@ func (e *Engine) prepare(sc Scenario, master *rng.Source) (*topo.Topology, error
 	if !e.built || len(e.nodes) != len(positions) || e.radioParams != sc.Radio {
 		e.simk = des.NewSim()
 		e.simk.SetReference(sc.ReferenceQueue)
+		e.simk.SetWatch(e.watch)
 		e.medium = radio.NewMedium(e.simk, sc.propagation())
 		e.medium.SetReference(sc.ReferenceRadio)
 		e.medium.SetAudibleMemo(!sc.LegacyRadio)

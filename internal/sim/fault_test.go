@@ -202,3 +202,68 @@ func TestRunReplicationsContainsPanic(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashAlreadyCrashedNode pins the idempotence edge: crashing a node
+// that is already down (and recovering one that is already up) must be a
+// no-op at the stack level — the run completes, stays deterministic, and
+// passes the invariant auditor.
+func TestCrashAlreadyCrashedNode(t *testing.T) {
+	sc := quickScenario()
+	sc.Audit = true
+	sc.Faults.Schedule = []fault.NodeEvent{
+		{Node: 7, At: 2 * des.Second, Up: false},
+		{Node: 7, At: 3 * des.Second, Up: false}, // double crash
+		{Node: 7, At: 5 * des.Second, Up: true},
+		{Node: 7, At: 6 * des.Second, Up: true}, // double recover
+	}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatalf("double crash/recover broke the run: %v", err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("double crash/recover run not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Delivered == 0 {
+		t.Fatal("run moved no traffic")
+	}
+}
+
+// TestLinkImpairmentAcrossCrashRecover pins the composition edge: a node
+// crashing and recovering while its links sit in the Gilbert–Elliott bad
+// state. The impairment chain advances on wall simulated time, so the
+// crash must neither stall the chain nor desynchronise it — the run
+// completes audit-clean and bit-identically.
+func TestLinkImpairmentAcrossCrashRecover(t *testing.T) {
+	sc := quickScenario()
+	sc.Audit = true
+	sc.Faults.Link = fault.LinkParams{
+		MeanGood: 500 * des.Millisecond,
+		MeanBad:  500 * des.Millisecond,
+		LossBad:  0.9,
+		LossGood: 0.05,
+	}
+	// Centre relay down for a 3 s slice of the measurement window: with
+	// 500 ms dwell times its links flip state several times while dark.
+	sc.Faults.Schedule = []fault.NodeEvent{
+		{Node: 12, At: sc.Warmup + des.Second, Up: false},
+		{Node: 12, At: sc.Warmup + 4*des.Second, Up: true},
+	}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatalf("impairment across crash/recover broke the run: %v", err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("impaired crash/recover run not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Delivered == 0 {
+		t.Fatal("run delivered nothing")
+	}
+}

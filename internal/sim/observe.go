@@ -50,6 +50,18 @@ func (e *Engine) RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collecto
 	if err != nil {
 		return Result{}, err
 	}
+	// Arm (or disarm) the per-node pool borrow ledgers. The disarm leg
+	// only runs when a previous audited run left ledgers armed on this
+	// warm engine, so the common audit-off path stays zero-cost.
+	if sc.Audit || e.auditArmed {
+		for _, n := range e.nodes {
+			n.Agent.Env.Pool.SetAudit(sc.Audit)
+		}
+		e.auditArmed = sc.Audit
+	}
+	if TestHookPrepared != nil {
+		TestHookPrepared(e.simk, e.nodes, sc)
+	}
 	if sink != nil {
 		for _, n := range e.nodes {
 			n.Agent.Env.Trace = sink
@@ -58,7 +70,11 @@ func (e *Engine) RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collecto
 	node.StartAll(e.nodes)
 	attachMobility(sc, e.simk, e.nodes, master)
 	end := sc.Warmup + sc.Measure
-	crashEvents, recoverEvents := attachFaults(sc, e.simk, e.nodes, master, end)
+	crashEvents, recoverEvents, everCrashed := attachFaults(sc, e.simk, e.nodes, master, end)
+	var aud *auditor
+	if sc.Audit {
+		aud = e.startAudit(end, everCrashed)
+	}
 	if col != nil {
 		col.Begin(len(e.nodes))
 		e.scheduleSampler(col, end)
@@ -89,6 +105,11 @@ func (e *Engine) RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collecto
 	if col != nil {
 		e.foldCounters(col, warm, warmRadio, crashEvents, recoverEvents)
 		col.FinishRun(end, e.simk.Executed(), time.Since(wallStart))
+	}
+	if aud != nil {
+		if aerr := aud.Err(); aerr != nil {
+			return r, aerr
+		}
 	}
 	return r, nil
 }
@@ -222,6 +243,19 @@ func (e *Engine) foldCounters(col *metrics.Collector, warm snapshot, warmRadio r
 	// pool carried over and would break the golden counter contract.
 	col.Add("des/pending-hw", uint64(e.simk.PendingHighWater()))
 	col.Add("radio/tx-inflight-hw", uint64(e.medium.TxInFlightHW()))
+
+	// Hidden-drop diagnostics: silent resource recycling that never shows
+	// up in protocol counters. These go into the diagnostics registry
+	// (not Counters) because warm-engine carry-over makes them run-order
+	// dependent.
+	var poolDrops uint64
+	for _, n := range e.nodes {
+		poolDrops += n.Agent.Env.Pool.Drops()
+	}
+	col.AddDiag("pkt/pool-drops", poolDrops)
+	col.AddDiag("des/free-list-drops", e.simk.FreeListDrops())
+	col.AddDiag("radio/tx-pool-drops", e.medium.TxPoolDrops())
+	col.AddDiag("radio/audible-rebuilds", e.medium.AudibleRebuilds())
 }
 
 func addRoutingCounters(dst *routing.Counters, src routing.Counters) {
@@ -299,6 +333,9 @@ func BuildReport(sc Scenario, r Result, col *metrics.Collector) metrics.RunRepor
 
 		Counters: col.Counters().Map(),
 		Metrics:  ResultMetrics(r),
+	}
+	if col.Diagnostics().Len() > 0 {
+		rep.Diagnostics = col.Diagnostics().Map()
 	}
 	if rep.WallSeconds > 0 {
 		rep.SimPerWall = rep.SimSeconds / rep.WallSeconds

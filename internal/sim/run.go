@@ -123,19 +123,25 @@ func attachMobility(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.
 //
 // It returns the number of crash and recover events falling inside the
 // measurement window [sc.Warmup, horizon] — the fault-layer counters the
-// metrics collector registers. Counting the materialised schedule keeps
-// the numbers a pure function of the seed at zero runtime cost.
-func attachFaults(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.Source, horizon des.Time) (crashEvents, recoverEvents uint64) {
+// metrics collector registers — plus everCrashed, marking the nodes the
+// materialised schedule crashes at least once (nil when churn is off);
+// the auditor skips those nodes' packet-conservation check because crash
+// paths deliberately strand in-flight packets. Counting the materialised
+// schedule keeps the numbers a pure function of the seed at zero runtime
+// cost.
+func attachFaults(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.Source, horizon des.Time) (crashEvents, recoverEvents uint64, everCrashed []bool) {
 	if !sc.Faults.ChurnEnabled() {
-		return 0, 0
+		return 0, 0, nil
 	}
 	events := sc.Faults.DrawSchedule(len(nodes), horizon, master.Derive(7000))
+	everCrashed = make([]bool, len(nodes))
 	for _, ev := range events {
 		n := nodes[ev.Node]
 		if ev.Up {
 			simk.At(ev.At, n.Recover)
 		} else {
 			simk.At(ev.At, n.Crash)
+			everCrashed[ev.Node] = true
 		}
 		if ev.At >= sc.Warmup {
 			if ev.Up {
@@ -145,7 +151,7 @@ func attachFaults(sc Scenario, simk *des.Sim, nodes []*node.Node, master *rng.So
 			}
 		}
 	}
-	return crashEvents, recoverEvents
+	return crashEvents, recoverEvents, everCrashed
 }
 
 // place generates node positions per the scenario topology. Random

@@ -149,6 +149,14 @@ type Scenario struct {
 	// Results are bit-identical either way: both orderings implement the
 	// identical (time, insertion-sequence) total order.
 	ReferenceQueue bool
+
+	// Audit enables the runtime invariant auditor: at every audit point a
+	// read-only checker cross-checks the packet-conservation ledger, DES
+	// event-list sanity, radio dense-state coherence and the AODV
+	// protocol invariants (see internal/sim/audit.go). Violations surface
+	// as a structured error from the run. Results are bit-identical with
+	// auditing on or off; off (the default) costs nothing.
+	Audit bool
 }
 
 // DefaultScenario returns Table R-1's operating point: a 7×7 grid over
