@@ -13,6 +13,7 @@ import (
 
 	"clnlr/internal/des"
 	"clnlr/internal/experiments"
+	"clnlr/internal/journey"
 	"clnlr/internal/metrics"
 	"clnlr/internal/rng"
 	"clnlr/internal/sim"
@@ -330,6 +331,39 @@ func BenchmarkSimulatorThroughputAudit(b *testing.B) {
 		asc := sc
 		asc.Audit = true
 		benchThroughput(b, asc)
+	})
+}
+
+// BenchmarkSimulatorThroughputJourney is the same-process A/B for the
+// packet journey tracer (internal/journey): the default untraced run
+// against the same scenario with every flow's packets traced and full
+// decision provenance recorded. The off tier is the plain RunJourney path
+// with a nil recorder — the cost of the hooks existing — and must stay
+// within the bench-compare gate of the committed
+// BenchmarkSimulatorThroughput baseline; the on tier reuses one recorder
+// warm across iterations, matching the sweep workers.
+func BenchmarkSimulatorThroughputJourney(b *testing.B) {
+	sc := sim.DefaultScenario()
+	sc.Measure = 30 * des.Second
+	sc.SessionTime = 10 * des.Second
+	run := func(b *testing.B, rec *journey.Recorder) {
+		b.Helper()
+		b.ReportAllocs()
+		eng := sim.NewEngine()
+		for i := 0; i < b.N; i++ {
+			sc.Seed = uint64(i + 1)
+			if _, err := eng.RunJourney(sc, nil, nil, rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		simSeconds := (sc.Warmup + sc.Measure).Seconds() * float64(b.N)
+		b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, nil)
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, journey.NewRecorder(1, true))
 	})
 }
 

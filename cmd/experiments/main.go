@@ -49,6 +49,7 @@ func main() {
 		status   = flag.String("status", "", "serve live sweep progress (expvar \"sweep\" at /debug/vars) and pprof on this address, e.g. localhost:6060")
 		progress = flag.Duration("progress", 0, "log a one-line progress summary at this wall-clock interval (0 = off)")
 		reports  = flag.String("reports", "", "directory to write per-cell run reports (JSON, with per-layer counters)")
+		journeyN = flag.Int("journey", 0, "trace packet journeys on 1-in-N flows and fold the delay decomposition into -reports cells (0 = off)")
 		resume   = flag.Bool("resume", false, "skip cells already checkpointed in the -reports directory (bit-identical to a fresh run)")
 		auditOn  = flag.Bool("audit", false, "run every replication under the runtime invariant auditor")
 		stall    = flag.Duration("stall-budget", 0, "kill a replication whose simulated clock makes no progress for this wall-clock time (0 = off)")
@@ -68,6 +69,12 @@ func main() {
 	}
 	if *resume && *reports == "" {
 		log.Fatal("-resume requires -reports (the checkpoint directory to resume from)")
+	}
+	if *journeyN < 0 {
+		log.Fatalf("negative journey sampling divisor %d", *journeyN)
+	}
+	if *journeyN > 0 && *reports == "" {
+		log.Fatal("-journey requires -reports (journey summaries are folded into per-cell reports)")
 	}
 
 	stopProf, err := profFlags.Start()
@@ -90,6 +97,7 @@ func main() {
 	cfg.StallBudget = *stall
 	cfg.Retries = *retries
 	cfg.RetryBackoff = *backoff
+	cfg.JourneyEveryN = *journeyN
 
 	// Graceful interrupt: the first SIGINT/SIGTERM drains in-flight
 	// replications and checkpoints completed cells; a second one exits

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"clnlr/internal/des"
+	"clnlr/internal/journey"
 	"clnlr/internal/metrics"
 	"clnlr/internal/prof"
 	"clnlr/internal/sim"
@@ -70,6 +71,9 @@ func main() {
 		metricsInt = flag.Duration("metrics-interval", 100*time.Millisecond, "sampling interval of simulated time for -metrics")
 		metricsOut = flag.String("metrics-out", "metrics", "output path prefix for -metrics files")
 		reportFile = flag.String("report", "", "write a machine-readable run report (JSON) to this file; forces reps=1")
+		journeyN   = flag.Int("journey", 0, "trace packet journeys on 1-in-N flows (per-hop delay decomposition); forces reps=1 (0 = off)")
+		journeyOut = flag.String("journey-out", "", "write sampled packet journeys (NDJSON) to this file; requires -journey")
+		decisions  = flag.String("decisions", "", "write routing decision provenance (NDJSON) to this file; requires -journey")
 		configFile = flag.String("config", "", "load scenario from a JSON file (flags override its fields)")
 		dumpConfig = flag.String("dump-config", "", "write the effective scenario as JSON to this file and exit")
 		auditOn    = flag.Bool("audit", false, "run under the runtime invariant auditor (fails on any invariant violation)")
@@ -129,6 +133,12 @@ func main() {
 	if *reps <= 0 {
 		log.Fatalf("non-positive replication count %d", *reps)
 	}
+	if *journeyN < 0 {
+		log.Fatalf("negative journey sampling divisor %d", *journeyN)
+	}
+	if (*journeyOut != "" || *decisions != "") && *journeyN <= 0 {
+		log.Fatal("-journey-out and -decisions require -journey N (the flow sampling divisor)")
+	}
 	vsc := sc
 	if *discover > 0 && vsc.Flows == 0 {
 		vsc.Flows = 1 // discovery probes are valid without background load
@@ -151,10 +161,11 @@ func main() {
 	}
 
 	collecting := *metricsOn || *reportFile != ""
+	journeying := *journeyN > 0
 	var rs []sim.Result
-	if *traceFile != "" || collecting {
-		// Tracing and metrics both observe a single run (neither changes
-		// its outcome); they compose freely.
+	if *traceFile != "" || collecting || journeying {
+		// Tracing, metrics and journeys all observe a single run (none
+		// changes its outcome); they compose freely.
 		if *reps > 1 {
 			log.Printf("observability flags force reps=1 (ignoring -reps %d)", *reps)
 		}
@@ -168,7 +179,11 @@ func main() {
 		if collecting {
 			col = metrics.NewCollector(des.Time(*metricsInt))
 		}
-		r, err := sim.RunObserved(sc, sink, col)
+		var rec *journey.Recorder
+		if journeying {
+			rec = journey.NewRecorder(*journeyN, true)
+		}
+		r, err := sim.RunJourney(sc, sink, col, rec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -191,8 +206,36 @@ func main() {
 			fmt.Printf("wrote %d samples × %d nodes to %s and %s\n",
 				col.Ticks(), col.NumNodes(), heatmap, series)
 		}
+		var agg *journey.Agg
+		if rec != nil {
+			agg = journey.NewAgg(rec.EveryN())
+			rec.Aggregate(agg)
+			if *journeyOut != "" {
+				if err := writeTo(*journeyOut, rec.WriteJourneysNDJSON); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("wrote %d packet journeys to %s\n", agg.Sampled, *journeyOut)
+			}
+			if *decisions != "" {
+				if err := writeTo(*decisions, rec.WriteDecisionsNDJSON); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("wrote %d decision records to %s\n",
+					agg.RREQDecisions+agg.Selections, *decisions)
+			}
+			jr := agg.Report()
+			fmt.Printf("journey: sampled %d packets (1-in-%d flows), %d delivered; "+
+				"mean delay %.3f ms = queue %.3f + access %.3f + retry %.3f + air %.3f + routing %.3f\n",
+				jr.Sampled, jr.EveryN, jr.Delivered, jr.Delay.MeanMs,
+				jr.Layers["queue"].MeanMs, jr.Layers["access"].MeanMs,
+				jr.Layers["retry"].MeanMs, jr.Layers["air"].MeanMs,
+				jr.Layers["routing"].MeanMs)
+		}
 		if *reportFile != "" {
 			rep := sim.BuildReport(sc, r, col)
+			if agg != nil {
+				rep.Journey = agg.Report()
+			}
 			if err := writeTo(*reportFile, rep.WriteJSON); err != nil {
 				log.Fatal(err)
 			}

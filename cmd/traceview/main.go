@@ -1,11 +1,13 @@
 // traceview summarises and filters routing-event traces produced by
-// `meshsim -trace <file>`.
+// `meshsim -trace <file>`, and renders per-hop delay timelines from
+// packet journeys produced by `meshsim -journey-out <file>`.
 //
 // Examples:
 //
 //	traceview trace.ndjson                     # aggregate summary
 //	traceview -node 12 trace.ndjson            # one node's records
 //	traceview -event rreq -n 20 trace.ndjson   # first 20 RREQ events
+//	traceview -journey -n 5 journeys.ndjson    # 5 per-hop delay timelines
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"clnlr/internal/journey"
 	"clnlr/internal/pkt"
 	"clnlr/internal/trace"
 )
@@ -22,13 +25,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("traceview: ")
 	var (
-		node  = flag.Int("node", -1, "only records from this node")
-		event = flag.String("event", "", "only events containing this substring")
-		limit = flag.Int("n", 0, "print at most this many matching records (0 = summary only)")
+		node     = flag.Int("node", -1, "only records from (or journeys visiting) this node")
+		event    = flag.String("event", "", "only events (or journey outcomes) containing this substring")
+		limit    = flag.Int("n", 0, "print at most this many matching records (0 = summary only)")
+		journeys = flag.Bool("journey", false, "input is packet journeys NDJSON (meshsim -journey-out): render per-hop delay timelines")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: traceview [flags] <trace.ndjson>")
+	}
+	if *limit < 0 {
+		log.Fatalf("negative record limit %d", *limit)
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -36,6 +43,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
+
+	if *journeys {
+		viewJourneys(f, *node, *event, *limit)
+		return
+	}
+
 	records, err := trace.ReadNDJSON(f)
 	if err != nil {
 		log.Fatal(err)
@@ -64,6 +77,103 @@ func main() {
 			fmt.Println(r.String())
 		}
 	}
+}
+
+// viewJourneys is the -journey mode: summarise the journey set and render
+// up to limit per-hop delay-decomposition timelines.
+func viewJourneys(f *os.File, node int, outcome string, limit int) {
+	js, err := journey.ReadJourneys(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var matched []journey.Journey
+	for _, j := range js {
+		if node >= 0 && !visits(j, pkt.NodeID(node)) {
+			continue
+		}
+		if outcome != "" && !containsFold(j.Outcome, outcome) {
+			continue
+		}
+		matched = append(matched, j)
+	}
+
+	byOutcome := map[string]int{}
+	var delivered int
+	var delayNs, hops int64
+	for _, j := range matched {
+		byOutcome[j.Outcome]++
+		if j.Outcome == journey.OutcomeDelivered {
+			delivered++
+			delayNs += j.DoneNs - j.CreatedNs
+			hops += int64(len(j.Hops))
+		}
+	}
+	fmt.Printf("%d journeys (%d matched of %d read)\n", len(matched), len(matched), len(js))
+	for _, o := range sortedKeys(byOutcome) {
+		fmt.Printf("  %-18s %d\n", o, byOutcome[o])
+	}
+	if delivered > 0 {
+		fmt.Printf("  delivered mean: %.3f ms over %.2f hops\n",
+			float64(delayNs)/float64(delivered)/1e6, float64(hops)/float64(delivered))
+	}
+
+	if limit == 0 {
+		return
+	}
+	for i, j := range matched {
+		if i >= limit {
+			fmt.Printf("... %d more\n", len(matched)-i)
+			break
+		}
+		fmt.Println()
+		printTimeline(j)
+	}
+}
+
+// printTimeline renders one journey as a per-hop decomposition, offsets in
+// milliseconds relative to packet creation.
+func printTimeline(j journey.Journey) {
+	fmt.Printf("uid=%d flow=%d seq=%d %v→%v %s  %.3f ms over %d hops\n",
+		j.UID, j.Flow, j.Seq, j.Src, j.Dst, j.Outcome,
+		float64(j.DoneNs-j.CreatedNs)/1e6, len(j.Hops))
+	for i, h := range j.Hops {
+		next := "?"
+		if h.Next >= 0 {
+			next = fmt.Sprint(h.Next)
+		}
+		fmt.Printf("  hop %-2d %3v→%-3s t+%8.3fms  route %7.3f | queue %7.3f | access %7.3f | retry %7.3f | air %7.3f  (%d tx)\n",
+			i+1, h.Node, next, float64(h.EnterNs-j.CreatedNs)/1e6,
+			float64(h.RoutingNs)/1e6, float64(h.QueueNs)/1e6, float64(h.AccessNs)/1e6,
+			float64(h.RetryNs)/1e6, float64(h.AirNs)/1e6, h.Attempts)
+	}
+}
+
+// visits reports whether the journey's path touches node n.
+func visits(j journey.Journey, n pkt.NodeID) bool {
+	if j.Src == n || j.Dst == n {
+		return true
+	}
+	for _, h := range j.Hops {
+		if h.Node == n || h.Next == n {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedKeys returns the map's keys in lexical order (deterministic
+// summary output).
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
 }
 
 // containsFold reports a case-insensitive substring match without pulling

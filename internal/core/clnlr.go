@@ -141,7 +141,8 @@ func (p *Policy) OnRREQ(c *routing.Core, pk *pkt.Packet, from pkt.NodeID, first 
 		return
 	}
 	nl := c.NeighborhoodLoad(p.params.TwoHop)
-	prob := p.ForwardProbability(nl, c.Neighbors().Count())
+	neighbors := c.Neighbors().Count()
+	prob := p.ForwardProbability(nl, neighbors)
 	// Graded retry escalation: each failed attempt raises the forwarding
 	// probability so suppression can delay but not strand a discovery.
 	if pk.RREQ.Attempt > 0 {
@@ -150,7 +151,15 @@ func (p *Policy) OnRREQ(c *routing.Core, pk *pkt.Packet, from pkt.NodeID, first 
 			prob = p.params.PMax
 		}
 	}
-	if c.Env.Rng.Bool(prob) {
+	// BoolDraw consumes exactly what Bool would, so capturing the draw for
+	// provenance cannot perturb the stream (and runs even when no recorder
+	// is installed, keeping instrumented and plain runs bit-identical).
+	ok, draw := c.Env.Rng.BoolDraw(prob)
+	if j := c.Env.Journey; j != nil {
+		j.OnRREQDecision(c.Env.Sim.Now(), c.Env.ID, pk.RREQ.Origin, pk.RREQ.ID,
+			int(pk.RREQ.Attempt), nl, neighbors, prob, draw, ok)
+	}
+	if ok {
 		c.ForwardRREQ(pk, 0)
 		return
 	}

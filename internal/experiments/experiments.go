@@ -38,6 +38,13 @@ type Config struct {
 	// Determinism is unaffected: collection never changes a run's outcome.
 	ReportDir string
 
+	// JourneyEveryN, with ReportDir set, traces packet journeys on every
+	// data-plane replication (1-in-N deterministic flow sampling, see
+	// internal/journey) and folds the per-layer delay decomposition and
+	// CLNLR decision-provenance summary into each cell's CellReport.
+	// Journey hooks only observe: Results are bit-identical either way.
+	JourneyEveryN int
+
 	// Resume, with ReportDir set, skips every cell whose checkpoint in
 	// ReportDir is complete and fingerprint-matched, loading its
 	// replications instead of re-running them. Because every replication

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"clnlr/internal/journey"
 	"clnlr/internal/sim"
 )
 
@@ -37,6 +38,11 @@ type CellReport struct {
 	Counters  map[string]uint64     `json:"counters,omitempty"`
 	Results   []sim.Result          `json:"results,omitempty"`
 	Discovery []sim.DiscoveryResult `json:"discovery,omitempty"`
+
+	// Journey, when Config.JourneyEveryN armed packet-journey tracing, is
+	// the per-layer delay decomposition and decision-provenance summary
+	// merged over all replications of the cell.
+	Journey *journey.Report `json:"journey,omitempty"`
 }
 
 // Manifest pins the sweep configuration a ReportDir's checkpoints were
@@ -44,10 +50,14 @@ type CellReport struct {
 // configured sweep fails loudly instead of silently mixing results.
 // Successive planner runs of one suite invocation merge their cells in.
 type Manifest struct {
-	Reps  int            `json:"reps"`
-	Seed  uint64         `json:"seed"`
-	Quick bool           `json:"quick"`
-	Cells []ManifestCell `json:"cells"`
+	Reps  int    `json:"reps"`
+	Seed  uint64 `json:"seed"`
+	Quick bool   `json:"quick"`
+	// JourneyEveryN pins the journey-tracing divisor: checkpoints written
+	// with a different divisor carry different (or no) journey sections,
+	// so mixing them in one directory would be silently inconsistent.
+	JourneyEveryN int            `json:"journey_every_n,omitempty"`
+	Cells         []ManifestCell `json:"cells"`
 }
 
 // ManifestCell records one registered cell's checkpoint identity.
@@ -110,6 +120,21 @@ func writeCellReport(dir string, c *cell) error {
 		}
 		rep.Counters = sum
 	}
+	if c.journeys != nil {
+		var merged *journey.Agg
+		for _, a := range c.journeys {
+			if a == nil {
+				continue
+			}
+			if merged == nil {
+				merged = journey.NewAgg(a.EveryN)
+			}
+			merged.Merge(a)
+		}
+		if merged != nil {
+			rep.Journey = merged.Report()
+		}
+	}
 	return atomicWriteJSON(filepath.Join(dir, cellFileName(c.label)), rep)
 }
 
@@ -155,19 +180,21 @@ func loadCellReport(dir string, c *cell, reps int) bool {
 func (p *planner) syncManifest() error {
 	dir := p.cfg.ReportDir
 	path := filepath.Join(dir, manifestFile)
-	m := Manifest{Reps: p.cfg.Reps, Seed: p.cfg.Seed, Quick: p.cfg.Quick}
+	m := Manifest{Reps: p.cfg.Reps, Seed: p.cfg.Seed, Quick: p.cfg.Quick, JourneyEveryN: p.cfg.JourneyEveryN}
 	if data, err := os.ReadFile(path); err == nil {
 		var prev Manifest
 		if err := json.Unmarshal(data, &prev); err != nil {
 			if p.cfg.Resume {
 				return fmt.Errorf("experiments: corrupt sweep manifest %s: %v", path, err)
 			}
-		} else if prev.Reps != p.cfg.Reps || prev.Seed != p.cfg.Seed || prev.Quick != p.cfg.Quick {
+		} else if prev.Reps != p.cfg.Reps || prev.Seed != p.cfg.Seed || prev.Quick != p.cfg.Quick ||
+			prev.JourneyEveryN != p.cfg.JourneyEveryN {
 			if p.cfg.Resume {
 				return fmt.Errorf(
-					"experiments: %s was written by a sweep with reps=%d seed=%d quick=%v; "+
-						"this run has reps=%d seed=%d quick=%v — cannot resume",
-					path, prev.Reps, prev.Seed, prev.Quick, p.cfg.Reps, p.cfg.Seed, p.cfg.Quick)
+					"experiments: %s was written by a sweep with reps=%d seed=%d quick=%v journey=%d; "+
+						"this run has reps=%d seed=%d quick=%v journey=%d — cannot resume",
+					path, prev.Reps, prev.Seed, prev.Quick, prev.JourneyEveryN,
+					p.cfg.Reps, p.cfg.Seed, p.cfg.Quick, p.cfg.JourneyEveryN)
 			}
 		} else {
 			m.Cells = prev.Cells

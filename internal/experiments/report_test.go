@@ -101,6 +101,88 @@ func TestReportsDoNotPerturbFigures(t *testing.T) {
 	}
 }
 
+// TestJourneySweepReports covers the journey-tracing sweep path: cells
+// gain a journey section, figures stay bit-identical to an untraced
+// sweep, a resumed sweep reproduces the same figure from the checkpoints,
+// and the manifest pins the sampling divisor.
+func TestJourneySweepReports(t *testing.T) {
+	plain := tinyConfig()
+	fp, err := FigR5(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := tinyConfig()
+	cfg.ReportDir = t.TempDir()
+	cfg.JourneyEveryN = 1
+	fj, err := FigR5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.CSV() != fj.CSV() {
+		t.Error("journey tracing changed figure output")
+	}
+
+	files, err := filepath.Glob(filepath.Join(cfg.ReportDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, f := range files {
+		if filepath.Base(f) == manifestFile {
+			var man Manifest
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(data, &man); err != nil {
+				t.Fatal(err)
+			}
+			if man.JourneyEveryN != 1 {
+				t.Errorf("manifest journey_every_n = %d, want 1", man.JourneyEveryN)
+			}
+			continue
+		}
+		var rep CellReport
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if rep.Journey == nil {
+			t.Fatalf("%s has no journey section", f)
+		}
+		if rep.Journey.EveryN != 1 || rep.Journey.Sampled == 0 {
+			t.Fatalf("%s journey section implausible: %+v", f, rep.Journey)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no cell reports written")
+	}
+
+	// Resume from the checkpoints: bit-identical figure, nothing re-run.
+	resume := cfg
+	resume.Resume = true
+	fr, err := FigR5(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fj.CSV() != fr.CSV() {
+		t.Error("resumed journey sweep diverged from the original")
+	}
+
+	// A resume with a different divisor must fail loudly, not mix cells.
+	mismatch := cfg
+	mismatch.Resume = true
+	mismatch.JourneyEveryN = 2
+	if _, err := FigR5(mismatch); err == nil {
+		t.Error("resume with mismatched journey divisor did not fail")
+	}
+}
+
 func TestCellFileName(t *testing.T) {
 	got := cellFileName("F-R3/4/7 rate=8 clnlr-2hop")
 	if got != "F-R3_4_7_rate_8_clnlr-2hop.json" {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"clnlr/internal/des"
+	"clnlr/internal/journey"
 	"clnlr/internal/metrics"
 	"clnlr/internal/sim"
 )
@@ -81,6 +82,9 @@ type cell struct {
 	// counters holds each replication's per-layer counter snapshot when
 	// Config.ReportDir enables per-cell reports (data-plane cells only).
 	counters []map[string]uint64
+	// journeys holds each replication's journey aggregate when
+	// Config.JourneyEveryN additionally arms packet-journey tracing.
+	journeys []*journey.Agg
 	errs     []error
 
 	// loaded marks a cell whose replications came from a resume
@@ -120,9 +124,10 @@ func (p *planner) interrupted() bool {
 }
 
 // runJob executes replication rep of c on eng, storing the result (and,
-// when col is non-nil, the run's counter snapshot) into the cell's
-// seed-ordered slices, and returns the run error.
-func (p *planner) runJob(c *cell, rep int, eng *sim.Engine, col *metrics.Collector) error {
+// when col/rec are non-nil, the run's counter snapshot and journey
+// aggregate) into the cell's seed-ordered slices, and returns the run
+// error.
+func (p *planner) runJob(c *cell, rep int, eng *sim.Engine, col *metrics.Collector, rec *journey.Recorder) error {
 	sc := c.sc
 	sc.Seed += uint64(rep)
 	if c.discovery {
@@ -130,11 +135,18 @@ func (p *planner) runJob(c *cell, rep int, eng *sim.Engine, col *metrics.Collect
 		c.dres[rep], err = eng.RunDiscovery(sc, c.rounds, c.gap)
 		return err
 	}
-	if col != nil {
-		r, err := eng.RunObserved(sc, nil, col)
+	if col != nil || rec != nil {
+		r, err := eng.RunJourney(sc, nil, col, rec)
 		c.results[rep] = r
 		if err == nil {
-			c.counters[rep] = col.Counters().Map()
+			if col != nil {
+				c.counters[rep] = col.Counters().Map()
+			}
+			if rec != nil {
+				agg := journey.NewAgg(rec.EveryN())
+				rec.Aggregate(agg)
+				c.journeys[rep] = agg
+			}
 		}
 		return err
 	}
@@ -218,13 +230,17 @@ func runContained(fn func() error) (err error) {
 // over the retries.
 func (p *planner) retryFailed(watch *des.Watch) {
 	var col *metrics.Collector
+	var rec *journey.Recorder
 	if p.cfg.ReportDir != "" {
 		col = metrics.NewCollector(0)
+		if p.cfg.JourneyEveryN > 0 {
+			rec = journey.NewRecorder(p.cfg.JourneyEveryN, true)
+		}
 	}
 	for _, c := range p.cells {
-		cellCol := col
+		cellCol, cellRec := col, rec
 		if c.discovery {
-			cellCol = nil
+			cellCol, cellRec = nil, nil
 		}
 		for r := range c.errs {
 			var pe *sim.PanicError
@@ -246,7 +262,7 @@ func (p *planner) retryFailed(watch *des.Watch) {
 						watch.BeginJob()
 						defer watch.EndJob()
 					}
-					return p.runJob(c, r, eng, cellCol)
+					return p.runJob(c, r, eng, cellCol, cellRec)
 				})
 			}
 		}
@@ -288,6 +304,9 @@ func (p *planner) run() error {
 			c.results = make([]sim.Result, p.cfg.Reps)
 			if p.cfg.ReportDir != "" {
 				c.counters = make([]map[string]uint64, p.cfg.Reps)
+				if p.cfg.JourneyEveryN > 0 {
+					c.journeys = make([]*journey.Agg, p.cfg.Reps)
+				}
 			}
 		}
 		c.errs = make([]error, p.cfg.Reps)
@@ -310,6 +329,13 @@ func (p *planner) run() error {
 	var collectors []*metrics.Collector
 	if p.cfg.ReportDir != "" {
 		collectors = make([]*metrics.Collector, numWorkers)
+	}
+	// Likewise one warm journey recorder per worker: each job aggregates
+	// the recorder's contents into its own per-rep Agg before the worker
+	// moves on, and RunJourney's Begin recycles the recorder per run.
+	var recorders []*journey.Recorder
+	if p.cfg.ReportDir != "" && p.cfg.JourneyEveryN > 0 {
+		recorders = make([]*journey.Recorder, numWorkers)
 	}
 	// The watchdog gets one progress channel per worker plus one for the
 	// sequential retry pass. Each index of skipped is written by at most
@@ -349,11 +375,19 @@ func (p *planner) run() error {
 				collectors[worker] = col
 			}
 		}
+		var rec *journey.Recorder
+		if recorders != nil && !j.c.discovery {
+			rec = recorders[worker]
+			if rec == nil {
+				rec = journey.NewRecorder(p.cfg.JourneyEveryN, true)
+				recorders[worker] = rec
+			}
+		}
 		if watches != nil {
 			watches[worker].BeginJob()
 			defer watches[worker].EndJob()
 		}
-		j.c.errs[j.rep] = p.runJob(j.c, j.rep, eng, col)
+		j.c.errs[j.rep] = p.runJob(j.c, j.rep, eng, col, rec)
 		engines[worker] = eng
 		if p.cfg.Progress != nil {
 			p.cfg.Progress.JobDone(j.c.label)

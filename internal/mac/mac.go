@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"clnlr/internal/des"
+	"clnlr/internal/journey"
 	"clnlr/internal/pkt"
 	"clnlr/internal/radio"
 	"clnlr/internal/rng"
@@ -173,6 +174,12 @@ type Mac struct {
 	// releases it back (pkt.Pool documents the ownership discipline).
 	pool *pkt.Pool
 
+	// journey, when non-nil, receives data-packet lifecycle events
+	// (enqueue, service, tx start, crash drops). Cleared by Reset — the
+	// harness reinstalls it per run, unlike the pool, so a journeyed run
+	// can never leak instrumentation into the next.
+	journey *journey.Recorder
+
 	// Per-peer state, dense by NodeID (node IDs are 0..N-1): lastSeq[i]
 	// is the last unicast sequence number heard from peer i (-1 = none),
 	// arf[i] its link-adaptation state. Both grow on first contact.
@@ -241,6 +248,7 @@ func (m *Mac) Reset(cfg Config, src *rng.Source) {
 		m.arf[i] = arfState{}
 	}
 	m.down = false
+	m.journey = nil
 	m.le.init(&m.cfg, m.sim)
 	m.energy = energyMeter{params: DefaultEnergyParams()}
 	m.Ctr = Counters{}
@@ -254,6 +262,22 @@ func (m *Mac) Reset(cfg Config, src *rng.Source) {
 // the node is silent). The caller crashes the radio separately.
 func (m *Mac) Crash() {
 	m.down = true
+	if m.journey != nil {
+		// Close the journeys of discarded data payloads before the queue
+		// is wiped. The recorder's ownership guards make this safe for
+		// packets whose journey already moved past this node.
+		now := m.sim.Now()
+		for _, f := range m.queue {
+			if f.Type == DataFrame && f.Payload != nil && f.Payload.Kind == pkt.Data {
+				m.journey.OnDrop(now, m.id, f.Payload, journey.DropCrashed)
+			}
+		}
+		if m.cur != nil {
+			if f := m.cur.frame; f.Type == DataFrame && f.Payload != nil && f.Payload.Kind == pkt.Data {
+				m.journey.OnDrop(now, m.id, f.Payload, journey.DropCrashed)
+			}
+		}
+	}
 	for i := range m.queue {
 		m.queue[i] = nil
 	}
@@ -299,6 +323,10 @@ func (m *Mac) SetUpper(u Upper) { m.upper = u }
 // Survives Reset, like the upper layer.
 func (m *Mac) SetPool(p *pkt.Pool) { m.pool = p }
 
+// SetJourney installs the journey recorder (nil disables). Unlike the
+// pool it does NOT survive Reset; the harness reinstalls it per run.
+func (m *Mac) SetJourney(r *journey.Recorder) { m.journey = r }
+
 // Start launches the periodic load estimator.
 func (m *Mac) Start() { m.le.start() }
 
@@ -330,11 +358,17 @@ func (m *Mac) HeldPackets() int { return m.QueueLen() }
 func (m *Mac) Send(p *pkt.Packet, nextHop pkt.NodeID) {
 	if m.down {
 		m.Ctr.DroppedDown++
+		if m.journey != nil && p.Kind == pkt.Data {
+			m.journey.OnDrop(m.sim.Now(), m.id, p, journey.DropDown)
+		}
 		m.pool.Release(p)
 		return
 	}
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.Ctr.DroppedQueueFull++
+		if m.journey != nil && p.Kind == pkt.Data {
+			m.journey.OnDrop(m.sim.Now(), m.id, p, journey.DropMacQueueFull)
+		}
 		m.pool.Release(p)
 		return
 	}
@@ -361,6 +395,9 @@ func (m *Mac) Send(p *pkt.Packet, nextHop pkt.NodeID) {
 		m.queue = append(m.queue, f)
 	}
 	m.Ctr.Enqueued++
+	if m.journey != nil && p.Kind == pkt.Data {
+		m.journey.OnMacEnqueue(m.sim.Now(), m.id, p, nextHop)
+	}
 	m.le.setQueueLen(m.QueueLen())
 	m.next()
 }
@@ -377,6 +414,9 @@ func (m *Mac) next() {
 	m.curBuf = outgoing{frame: f}
 	m.cur = &m.curBuf
 	m.cw = m.cfg.CWMin
+	if m.journey != nil && f.Payload != nil && f.Payload.Kind == pkt.Data {
+		m.journey.OnMacService(m.sim.Now(), m.id, f.Payload)
+	}
 	m.drawBackoff()
 	m.startAccess()
 }
@@ -478,6 +518,9 @@ func (m *Mac) transmitCur() {
 		m.transmitRTS()
 		return
 	}
+	if m.journey != nil && f.Payload.Kind == pkt.Data {
+		m.journey.OnMacTxStart(m.sim.Now(), m.id, f.Payload)
+	}
 	m.state = accTx
 	m.le.setOccupied(true)
 	var dur des.Time
@@ -524,6 +567,9 @@ func (m *Mac) sendCurData() {
 		return
 	}
 	f := m.cur.frame
+	if m.journey != nil && f.Payload.Kind == pkt.Data {
+		m.journey.OnMacTxStart(m.sim.Now(), m.id, f.Payload)
+	}
 	m.Ctr.TxData++
 	m.le.setOccupied(true)
 	rate := m.unicastRate(f.Dst)

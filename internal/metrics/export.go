@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"clnlr/internal/des"
+	"clnlr/internal/journey"
 	"clnlr/internal/pkt"
 )
 
@@ -105,6 +106,10 @@ type RunReport struct {
 	// Counters contract — on a warm engine their values depend on what the
 	// previous run left pooled.
 	Diagnostics map[string]uint64 `json:"diagnostics,omitempty"`
+
+	// Journey, when the run traced packet journeys, is the per-layer delay
+	// decomposition and decision-provenance summary.
+	Journey *journey.Report `json:"journey,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON (map keys sorted by

@@ -132,6 +132,22 @@ func (s *Source) Bool(p float64) bool {
 	return s.Float64() < p
 }
 
+// BoolDraw is Bool, additionally exposing the uniform draw that decided
+// the outcome (for decision-provenance recording). It consumes exactly as
+// much of the stream as Bool: nothing for degenerate probabilities —
+// draw is then -1 — and one Float64 otherwise, so swapping Bool for
+// BoolDraw never perturbs the stream.
+func (s *Source) BoolDraw(p float64) (ok bool, draw float64) {
+	if p <= 0 {
+		return false, -1
+	}
+	if p >= 1 {
+		return true, -1
+	}
+	d := s.Float64()
+	return d < p, d
+}
+
 // Exp returns an exponentially distributed float64 with the given mean.
 // It panics if mean <= 0.
 func (s *Source) Exp(mean float64) float64 {

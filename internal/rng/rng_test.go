@@ -325,3 +325,40 @@ func BenchmarkIntn(b *testing.B) {
 		_ = s.Intn(1023)
 	}
 }
+
+// TestBoolDrawMatchesBool pins the decision-provenance contract: BoolDraw
+// must return the same outcome as Bool AND consume exactly the same amount
+// of the stream, including the degenerate p≤0 / p≥1 fast paths that draw
+// nothing. Any divergence would silently break run determinism when
+// provenance recording is enabled.
+func TestBoolDrawMatchesBool(t *testing.T) {
+	probs := []float64{-0.5, 0, 1e-12, 0.25, 0.5, 0.9, 0.999999, 1, 1.5}
+	a := New(42)
+	b := New(42)
+	for round := 0; round < 1000; round++ {
+		p := probs[round%len(probs)]
+		want := a.Bool(p)
+		got, draw := b.BoolDraw(p)
+		if got != want {
+			t.Fatalf("round %d p=%v: BoolDraw=%v, Bool=%v", round, p, got, want)
+		}
+		if p <= 0 || p >= 1 {
+			if draw != -1 {
+				t.Fatalf("round %d p=%v: degenerate draw = %v, want -1", round, p, draw)
+			}
+		} else {
+			if draw < 0 || draw >= 1 {
+				t.Fatalf("round %d p=%v: draw = %v outside [0,1)", round, p, draw)
+			}
+			if got != (draw < p) {
+				t.Fatalf("round %d p=%v: outcome %v inconsistent with draw %v", round, p, got, draw)
+			}
+		}
+	}
+	// Streams must still be in lock-step after mixed degenerate and real draws.
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged after BoolDraw sequence (step %d)", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"clnlr/internal/des"
+	"clnlr/internal/journey"
 	"clnlr/internal/pkt"
 	"clnlr/internal/trace"
 )
@@ -234,6 +235,11 @@ func (c *Core) Crash() {
 		}
 		d.timer.Cancel()
 		c.Ctr.DropCrashed += uint64(len(d.buffer))
+		if j := c.Env.Journey; j != nil {
+			for _, p := range d.buffer {
+				j.OnDrop(c.Env.Sim.Now(), c.Env.ID, p, journey.DropCrashed)
+			}
+		}
 		c.pending[i] = nil
 	}
 	c.pendingCount = 0
@@ -381,8 +387,14 @@ func (c *Core) NeighborhoodLoad(twoHop bool) float64 {
 // buffer it and start discovery.
 func (c *Core) Send(p *pkt.Packet) {
 	c.Ctr.DataOriginated++
+	if j := c.Env.Journey; j != nil {
+		j.OnOriginate(c.Env.Sim.Now(), c.Env.ID, p)
+	}
 	if c.down {
 		c.Ctr.DropCrashed++
+		if j := c.Env.Journey; j != nil {
+			j.OnDrop(c.Env.Sim.Now(), c.Env.ID, p, journey.DropCrashed)
+		}
 		c.Env.Pool.Release(p)
 		return
 	}
@@ -408,6 +420,9 @@ func (c *Core) bufferAndDiscover(p *pkt.Packet) {
 	}
 	if len(d.buffer) >= c.Cfg.BufferCap {
 		c.Ctr.DropBufferFull++
+		if j := c.Env.Journey; j != nil {
+			j.OnDrop(c.Env.Sim.Now(), c.Env.ID, p, journey.DropBufferFull)
+		}
 		c.Env.Pool.Release(p)
 		return
 	}
@@ -481,6 +496,9 @@ func (c *Core) discoveryTimeout(dst pkt.NodeID) {
 		c.Ctr.DiscoveriesFailed++
 		c.Ctr.DropNoRoute += uint64(len(d.buffer))
 		for _, p := range d.buffer {
+			if j := c.Env.Journey; j != nil {
+				j.OnDrop(c.Env.Sim.Now(), c.Env.ID, p, journey.DropNoRoute)
+			}
 			c.Env.Pool.Release(p)
 		}
 		c.clearPending(d.dst)
@@ -613,6 +631,9 @@ func (c *Core) handleTargetRREQ(p *pkt.Packet, from pkt.NodeID, first bool) {
 			// storm duplicate RREPs back toward the origin).
 			return
 		}
+		if j := c.Env.Journey; j != nil {
+			j.OnReplyCandidate(c.Env.Sim.Now(), c.Env.ID, b.Origin, b.ID, from, b.Cost, b.HopCount)
+		}
 		c.replyWaits[k] = &replyWait{best: cand}
 		var slot int32
 		if n := len(c.waitFree); n > 0 {
@@ -625,6 +646,9 @@ func (c *Core) handleTargetRREQ(p *pkt.Packet, from pkt.NodeID, first bool) {
 		}
 		c.Env.Sim.ScheduleCall(c.Cfg.ReplyWindow, c, copReplyWindow, uint32(slot))
 		return
+	}
+	if j := c.Env.Journey; j != nil {
+		j.OnReplyCandidate(c.Env.Sim.Now(), c.Env.ID, b.Origin, b.ID, from, b.Cost, b.HopCount)
 	}
 	const eps = 1e-9
 	if cand.cost < w.best.cost-eps ||
@@ -640,6 +664,9 @@ func (c *Core) closeReplyWindow(k rreqKey) {
 		return // window discarded by a crash before it closed
 	}
 	delete(c.replyWaits, k)
+	if j := c.Env.Journey; j != nil {
+		j.OnReplyClose(c.Env.Sim.Now(), c.Env.ID, k.origin, k.id, ww.best.from, ww.best.cost, ww.best.hops)
+	}
 	c.sendRREPAsTarget(k.origin, ww.best.from, ww.best.hops, ww.best.cost)
 }
 
@@ -756,6 +783,9 @@ func (c *Core) handleData(p *pkt.Packet, from pkt.NodeID) {
 	if p.Dst == c.Env.ID {
 		c.Ctr.DataDelivered++
 		c.tracef("data-deliver", "src=%v flow=%d seq=%d delay=%v", p.Src, p.FlowID, p.Seq, c.Env.Sim.Now()-p.CreatedAt)
+		if j := c.Env.Journey; j != nil {
+			j.OnDeliver(c.Env.Sim.Now(), c.Env.ID, p)
+		}
 		if c.Env.Deliver != nil {
 			c.Env.Deliver(p, from)
 		}
@@ -764,6 +794,9 @@ func (c *Core) handleData(p *pkt.Packet, from pkt.NodeID) {
 	}
 	if p.TTL <= 1 {
 		c.Ctr.DropTTL++
+		if j := c.Env.Journey; j != nil {
+			j.OnDrop(c.Env.Sim.Now(), c.Env.ID, p, journey.DropTTL)
+		}
 		c.Env.Pool.Release(p)
 		return
 	}
@@ -771,12 +804,18 @@ func (c *Core) handleData(p *pkt.Packet, from pkt.NodeID) {
 	if r == nil {
 		c.Ctr.DropNoRoute++
 		c.tracef("data-drop", "no route to %v (flow=%d seq=%d)", p.Dst, p.FlowID, p.Seq)
+		if j := c.Env.Journey; j != nil {
+			j.OnDrop(c.Env.Sim.Now(), c.Env.ID, p, journey.DropNoRoute)
+		}
 		c.sendRERR([]pkt.UnreachableDest{{Node: p.Dst, Seq: c.staleSeq(p.Dst)}})
 		c.Env.Pool.Release(p)
 		return
 	}
 	p.TTL--
 	c.Ctr.DataForwarded++
+	if j := c.Env.Journey; j != nil {
+		j.OnArrive(c.Env.Sim.Now(), c.Env.ID, p)
+	}
 	c.forwardData(p, r)
 }
 
@@ -809,10 +848,16 @@ func (c *Core) MacTxDone(p *pkt.Packet, dst pkt.NodeID, ok bool) {
 
 	if p.Kind == pkt.Data && p.Src == c.Env.ID {
 		// We originated it: try to re-discover rather than lose it.
+		if j := c.Env.Journey; j != nil {
+			j.OnRequeue(c.Env.Sim.Now(), c.Env.ID, p)
+		}
 		c.bufferAndDiscover(p)
 	} else {
 		if p.Kind == pkt.Data {
 			c.Ctr.DropLinkFail++
+			if j := c.Env.Journey; j != nil {
+				j.OnDrop(c.Env.Sim.Now(), c.Env.ID, p, journey.DropLinkFail)
+			}
 		}
 		c.Env.Pool.Release(p)
 	}

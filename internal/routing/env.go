@@ -19,6 +19,7 @@ package routing
 
 import (
 	"clnlr/internal/des"
+	"clnlr/internal/journey"
 	"clnlr/internal/mac"
 	"clnlr/internal/pkt"
 	"clnlr/internal/rng"
@@ -41,6 +42,11 @@ type Env struct {
 	// the ownership discipline). All pkt.Pool methods are nil-safe, so a
 	// pool-less Env behaves identically, just with GC churn.
 	Pool *pkt.Pool
+	// Journey, when non-nil, receives packet-lifecycle and
+	// decision-provenance events (zero cost when nil, like Trace). The
+	// hooks observe only — they never schedule events or draw randomness —
+	// so an instrumented run stays bit-identical to a plain one.
+	Journey *journey.Recorder
 }
 
 // RREQPolicy is the per-scheme RREQ handling hook.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"clnlr/internal/des"
+	"clnlr/internal/journey"
 	"clnlr/internal/mac"
 	"clnlr/internal/metrics"
 	"clnlr/internal/node"
@@ -35,6 +36,17 @@ import (
 // bit-identical across the radio fast/reference paths and warm/cold
 // engines (proven by the golden tests in observe_test.go).
 func (e *Engine) RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collector) (Result, error) {
+	return e.RunJourney(sc, sink, col, nil)
+}
+
+// RunJourney is RunObserved plus an optional journey recorder: when rec is
+// non-nil it is armed with the warm-up boundary and the dedicated
+// journey-sampling stream (rng label 8000 — a pure function of the
+// scenario seed, so warm/cold engines and resumed sweeps sample the same
+// flows) and installed on every node's routing core and MAC. Journey
+// hooks only observe — the run's Result stays bit-identical to a rec=nil
+// run (pinned by the golden suite in journey_test.go).
+func (e *Engine) RunJourney(sc Scenario, sink trace.Sink, col *metrics.Collector, rec *journey.Recorder) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -65,6 +77,16 @@ func (e *Engine) RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collecto
 	if sink != nil {
 		for _, n := range e.nodes {
 			n.Agent.Env.Trace = sink
+		}
+	}
+	if rec != nil {
+		// prepare (ResetNetwork/Mac.Reset) cleared any previous run's
+		// recorder from the per-node state, so install-per-run keeps warm
+		// engines equivalent to cold ones.
+		rec.Begin(sc.Warmup, master.Derive(8000))
+		for _, n := range e.nodes {
+			n.Agent.Env.Journey = rec
+			n.Mac.SetJourney(rec)
 		}
 	}
 	node.StartAll(e.nodes)
@@ -101,6 +123,9 @@ func (e *Engine) RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collecto
 	})
 	e.simk.RunUntil(end)
 
+	if rec != nil {
+		rec.EndRun(end)
+	}
 	r := extract(sc, e.nodes, mgr, warm)
 	if col != nil {
 		e.foldCounters(col, warm, warmRadio, crashEvents, recoverEvents)
@@ -118,6 +143,12 @@ func (e *Engine) RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collecto
 // engine (both nil behaves exactly like Run).
 func RunObserved(sc Scenario, sink trace.Sink, col *metrics.Collector) (Result, error) {
 	return NewEngine().RunObserved(sc, sink, col)
+}
+
+// RunJourney is RunObserved plus an optional journey recorder on a fresh
+// engine.
+func RunJourney(sc Scenario, sink trace.Sink, col *metrics.Collector, rec *journey.Recorder) (Result, error) {
+	return NewEngine().RunJourney(sc, sink, col, rec)
 }
 
 // sampler is the flight recorder's typed-event handler: one read-only
@@ -351,7 +382,9 @@ func ResultMetrics(r Result) map[string]float64 {
 		"delivered":         float64(r.Delivered),
 		"pdr":               r.PDR,
 		"mean_delay_ms":     r.MeanDelaySec * 1000,
+		"p50_delay_ms":      r.DelayP50Sec * 1000,
 		"p95_delay_ms":      r.DelayP95Sec * 1000,
+		"p99_delay_ms":      r.DelayP99Sec * 1000,
 		"throughput_kbps":   r.ThroughputKbps,
 		"rreq_tx":           float64(r.RREQTx),
 		"control_tx":        float64(r.ControlTx),

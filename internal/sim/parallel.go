@@ -203,6 +203,8 @@ var (
 	MetricEnergyMax  Metric = func(r Result) float64 { return r.EnergyMaxJ }
 	MetricFairness   Metric = func(r Result) float64 { return r.FlowFairness }
 	MetricDelayP95Ms Metric = func(r Result) float64 { return r.DelayP95Sec * 1000 }
+	MetricDelayP50Ms Metric = func(r Result) float64 { return r.DelayP50Sec * 1000 }
+	MetricDelayP99Ms Metric = func(r Result) float64 { return r.DelayP99Sec * 1000 }
 )
 
 // RunToPrecision runs replications in batches until the 95% confidence

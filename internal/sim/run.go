@@ -55,8 +55,11 @@ type Result struct {
 	// FlowFairness is Jain's index over per-flow delivery ratios.
 	FlowFairness float64
 
-	// DelayP95Sec is the 95th-percentile end-to-end delay.
+	// DelayP95Sec is the 95th-percentile end-to-end delay; DelayP50Sec and
+	// DelayP99Sec the median and tail companions papers report beside it.
 	DelayP95Sec float64
+	DelayP50Sec float64
+	DelayP99Sec float64
 }
 
 // snapshot captures cumulative counters at the warm-up boundary so the
@@ -302,6 +305,8 @@ func extract(sc Scenario, nodes []*node.Node, mgr *traffic.Manager, warm snapsho
 	r.ThroughputKbps = float64(tot.Bytes) * 8 / 1000 / sc.Measure.Seconds()
 	r.FlowFairness = mgr.JainFairness()
 	r.DelayP95Sec = mgr.DelayQuantile(0.95)
+	r.DelayP50Sec = mgr.DelayQuantile(0.5)
+	r.DelayP99Sec = mgr.DelayQuantile(0.99)
 
 	var started, succeeded uint64
 	var fw, en stats.Welford

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogHistogramQuantiles(t *testing.T) {
+	h := NewLogHistogram(1e-4, 1e3, 32)
+	// 1..1000 ms uniformly: quantiles should track the sample quantiles
+	// within one bucket's relative width (10^(1/32) ≈ 7.5%).
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i) * 1e-3)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 0.5}, {0.95, 0.95}, {0.99, 0.99},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want*0.9 || got > tc.want*1.1 {
+			t.Errorf("Quantile(%v) = %v, want ≈%v", tc.q, got, tc.want)
+		}
+	}
+	wantMean := 0.5005
+	if m := h.Mean(); math.Abs(m-wantMean) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", m, wantMean)
+	}
+}
+
+func TestLogHistogramOutOfRange(t *testing.T) {
+	h := NewLogHistogram(1e-3, 1e2, 16)
+	h.Add(0)
+	h.Add(-5)
+	h.Add(1e-6)
+	h.Add(1e6)
+	under, over := h.OutOfRange()
+	if under != 3 || over != 1 {
+		t.Fatalf("under/over = %d/%d, want 3/1", under, over)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	// All mass under → quantiles pin to lo; all mass over pins to hi.
+	if q := h.Quantile(0.5); q != 1e-3 {
+		t.Errorf("Quantile(0.5) = %v, want lo", q)
+	}
+	if q := h.Quantile(1); q != 1e2 {
+		t.Errorf("Quantile(1) = %v, want hi", q)
+	}
+}
+
+func TestLogHistogramBucketBoundaries(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 1) // 3 buckets: [1,10) [10,100) [100,1000)
+	if h.NumBins() != 3 {
+		t.Fatalf("NumBins = %d, want 3", h.NumBins())
+	}
+	for _, x := range []float64{1, 9.99, 10, 99, 100, 999} {
+		h.Add(x)
+	}
+	if got := []int64{h.bins[0], h.bins[1], h.bins[2]}; got[0] != 2 || got[1] != 2 || got[2] != 2 {
+		t.Fatalf("bins = %v, want [2 2 2]", got)
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a := NewLogHistogram(1e-4, 1e3, 32)
+	b := NewLogHistogram(1e-4, 1e3, 32)
+	c := NewLogHistogram(1e-4, 1e3, 32)
+	for i := 1; i <= 500; i++ {
+		a.Add(float64(i) * 1e-3)
+		c.Add(float64(i) * 1e-3)
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Add(float64(i) * 1e-3)
+		c.Add(float64(i) * 1e-3)
+	}
+	a.Merge(b)
+	if a.Count() != c.Count() || math.Abs(a.Sum()-c.Sum()) > 1e-9 {
+		t.Fatalf("merged count/sum = %d/%v, want %d/%v", a.Count(), a.Sum(), c.Count(), c.Sum())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95, 0.99} {
+		if a.Quantile(q) != c.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %v != direct %v", q, a.Quantile(q), c.Quantile(q))
+		}
+	}
+	// Geometry mismatch must panic, not silently corrupt.
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched geometry did not panic")
+		}
+	}()
+	a.Merge(NewLogHistogram(1e-4, 1e3, 16))
+}
+
+func TestLogHistogramWarmReset(t *testing.T) {
+	h := NewLogHistogram(1e-4, 1e3, 32)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(0)   // under
+	h.Add(1e9) // over
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("after Reset: count=%d sum=%v, want zeros", h.Count(), h.Sum())
+	}
+	if u, o := h.OutOfRange(); u != 0 || o != 0 {
+		t.Fatalf("after Reset: under/over = %d/%d, want zeros", u, o)
+	}
+	// A reset histogram must behave bit-identically to a fresh one.
+	fresh := NewLogHistogram(1e-4, 1e3, 32)
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i) * 1e-3)
+		fresh.Add(float64(i) * 1e-3)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if h.Quantile(q) != fresh.Quantile(q) {
+			t.Errorf("Quantile(%v): reset %v != fresh %v", q, h.Quantile(q), fresh.Quantile(q))
+		}
+	}
+}
