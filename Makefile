@@ -4,9 +4,9 @@
 
 GO ?= go
 
-# Benchmarks gated by bench-compare: the raw-simulator throughput pair plus
-# the runner-level replication sweep.
-BENCH_GATE := BenchmarkSimulatorThroughput|BenchmarkReplicationSweep
+# Benchmarks gated by bench-compare: the raw-simulator throughput pair,
+# the runner-level replication sweep, and the daemon's serve path.
+BENCH_GATE := BenchmarkSimulatorThroughput|BenchmarkReplicationSweep|BenchmarkServeThroughput
 
 .PHONY: verify build test race bench-smoke bench bench-compare bench-baseline fuzz lint profile-largen
 
@@ -30,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/des ./internal/experiments ./internal/metrics
+	$(GO) test -race ./internal/sim ./internal/des ./internal/experiments ./internal/metrics ./internal/serve
 
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x .

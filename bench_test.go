@@ -8,7 +8,11 @@ package clnlr
 // output doubles as a results sketch.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	nethttp "net/http"
+	"net/http/httptest"
 	"testing"
 
 	"clnlr/internal/des"
@@ -16,6 +20,7 @@ import (
 	"clnlr/internal/journey"
 	"clnlr/internal/metrics"
 	"clnlr/internal/rng"
+	"clnlr/internal/serve"
 	"clnlr/internal/sim"
 )
 
@@ -461,4 +466,74 @@ func BenchmarkReplicationSweep(b *testing.B) {
 	}
 	simSeconds := (sc.Warmup + sc.Measure).Seconds() * reps * float64(b.N)
 	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
+}
+
+// BenchmarkServeThroughput measures the meshsimd request path in-process
+// (handler → admission → worker → cache, no network). "cold" submits a
+// never-seen scenario per iteration, so each request pays one full
+// simulation plus the service overhead — the delta against
+// BenchmarkSimulatorThroughputMetrics is what serving costs. "hit" submits
+// the same scenario every iteration, so after the first request everything
+// is a cache hit: the price of a memoised result.
+func BenchmarkServeThroughput(b *testing.B) {
+	scenario := func(seed uint64) []byte {
+		sc := sim.DefaultScenario()
+		sc.Name = "bench-serve"
+		sc.Seed = seed
+		sc.Measure = 30 * des.Second
+		sc.SessionTime = 10 * des.Second
+		raw, err := json.Marshal(serve.RunRequest{Scenario: mustJSON(b, sc)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return raw
+	}
+	submit := func(b *testing.B, h nethttp.Handler, body []byte, wantCache string) {
+		req := httptest.NewRequest(nethttp.MethodPost, "/v1/run", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != nethttp.StatusOK {
+			b.Fatalf("status %d: %s", rw.Code, rw.Body.String())
+		}
+		if c := rw.Result().Header.Get("X-Cache"); c != wantCache {
+			b.Fatalf("X-Cache = %q, want %q", c, wantCache)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		srv, err := serve.New(serve.Config{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := srv.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			submit(b, h, scenario(uint64(i+1)), "miss")
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		srv, err := serve.New(serve.Config{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := srv.Handler()
+		body := scenario(1)
+		submit(b, h, body, "miss") // prime the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			submit(b, h, body, "hit")
+		}
+	})
+}
+
+func mustJSON(b *testing.B, v any) []byte {
+	b.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return raw
 }

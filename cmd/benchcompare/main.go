@@ -22,6 +22,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"clnlr/internal/buildinfo"
 )
 
 // Baseline is the committed reference file format.
@@ -37,8 +39,14 @@ func main() {
 		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline JSON file")
 		tol          = flag.Float64("tol", -1, "allowed fractional ns/op regression (default 0.10, or $BENCH_TOLERANCE)")
 		update       = flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print("benchcompare")
+		return
+	}
 
 	tolerance := 0.10
 	if env := os.Getenv("BENCH_TOLERANCE"); env != "" {

@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"clnlr/internal/buildinfo"
 	"clnlr/internal/experiments"
 	"clnlr/internal/metrics"
 	"clnlr/internal/prof"
@@ -55,8 +56,14 @@ func main() {
 		stall    = flag.Duration("stall-budget", 0, "kill a replication whose simulated clock makes no progress for this wall-clock time (0 = off)")
 		retries  = flag.Int("retries", 0, "re-attempt a crashed or stalled replication up to this many times on a fresh engine")
 		backoff  = flag.Duration("retry-backoff", 0, "wait between replication retry attempts")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print("experiments")
+		return
+	}
 
 	if *reps < 0 {
 		log.Fatalf("negative replication count %d", *reps)

@@ -1,0 +1,204 @@
+// Command meshctl is the client CLI for the meshsimd result daemon.
+//
+//	meshctl -addr localhost:8080 run -scenario sc.json -out report.json
+//	meshctl sweep -scenario sc.json -schemes all -reps 20
+//	meshctl watch -scenario sc.json -schemes all -reps 20
+//	meshctl stats
+//	meshctl version
+//
+// Scenario files use the meshsim overlay format: fields absent from the
+// JSON keep their DefaultScenario values; "-" reads the scenario from
+// stdin. Reports print to stdout unless -out is given. A 429/503 refusal
+// prints the daemon's Retry-After hint and exits 3, so shell loops can
+// back off and retry.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"clnlr/internal/buildinfo"
+	"clnlr/internal/des"
+	"clnlr/internal/serve"
+	"clnlr/internal/serve/client"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: meshctl [-addr host:port] <command> [flags]
+
+commands:
+  run      submit one observed run, print/save its report
+  sweep    submit a replication sweep, print/save its report
+  watch    submit a sweep asynchronously and stream its progress
+  stats    print the daemon's counter snapshot
+  version  print daemon and client build information
+`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	var retry *client.RetryError
+	if errors.As(err, &retry) {
+		fmt.Fprintf(os.Stderr, "meshctl: %v\n", err)
+		os.Exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "meshctl: %v\n", err)
+	os.Exit(1)
+}
+
+// readScenario loads a scenario overlay from path ("-" = stdin, "" = the
+// empty overlay, i.e. DefaultScenario).
+func readScenario(path string) (json.RawMessage, error) {
+	switch path {
+	case "":
+		return nil, nil
+	case "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("reading scenario from stdin: %w", err)
+		}
+		return data, nil
+	default:
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func splitSchemes(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "meshsimd address")
+	version := flag.Bool("version", false, "print client build information and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if *version {
+		buildinfo.Print("meshctl")
+		return
+	}
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := client.New(*addr)
+	ctx := context.Background()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	switch cmd {
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		scPath := fs.String("scenario", "", "scenario overlay JSON file (\"-\" = stdin, empty = defaults)")
+		out := fs.String("out", "", "write the report here instead of stdout")
+		interval := fs.Duration("interval", 0, "flight-recorder sampling interval (0 = daemon default, 100ms)")
+		journeyN := fs.Int("journey-every", 0, "trace packet journeys on 1-in-N flows (0 = off)")
+		fs.Parse(args)
+		raw, err := readScenario(*scPath)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := c.Run(ctx, serve.RunRequest{
+			Scenario:       raw,
+			SampleInterval: des.Time(*interval),
+			JourneyEveryN:  *journeyN,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cache %s, key %s\n", res.Cache, res.Key)
+		if err := writeOut(*out, res.Body); err != nil {
+			fatal(err)
+		}
+
+	case "sweep", "watch":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		scPath := fs.String("scenario", "", "scenario overlay JSON file (\"-\" = stdin, empty = defaults)")
+		out := fs.String("out", "", "write the report here instead of stdout")
+		name := fs.String("name", "", "sweep name (default: scenario name)")
+		schemes := fs.String("schemes", "", "comma-separated scheme list, or \"all\" (default: the scenario's scheme)")
+		reps := fs.Int("reps", 10, "replications per cell")
+		journeyN := fs.Int("journey-every", 0, "trace packet journeys on 1-in-N flows (0 = off)")
+		fs.Parse(args)
+		raw, err := readScenario(*scPath)
+		if err != nil {
+			fatal(err)
+		}
+		req := serve.SweepRequest{
+			Name:          *name,
+			Scenario:      raw,
+			Schemes:       splitSchemes(*schemes),
+			Reps:          *reps,
+			JourneyEveryN: *journeyN,
+		}
+		if cmd == "watch" {
+			st, err := c.SweepAsync(ctx, req)
+			if err != nil {
+				fatal(err)
+			}
+			err = c.Stream(ctx, st.Key, func(st serve.JobStatus) error {
+				line, _ := json.Marshal(st)
+				fmt.Fprintf(os.Stderr, "%s\n", line)
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+			// The job is finished (or failed); a re-submit now is a cache
+			// hit or a fast error either way.
+		}
+		res, err := c.Sweep(ctx, req)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cache %s, key %s\n", res.Cache, res.Key)
+		if err := writeOut(*out, res.Body); err != nil {
+			fatal(err)
+		}
+
+	case "stats":
+		st, err := c.Stats(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+
+	case "version":
+		fmt.Printf("client: %s\n", buildinfo.Get())
+		info, err := c.Version(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("daemon: %s commit %s go %s\n", info.Version, info.Commit, info.GoVersion)
+
+	default:
+		fmt.Fprintf(os.Stderr, "meshctl: unknown command %q\n", cmd)
+		usage()
+	}
+}

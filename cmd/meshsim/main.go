@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"clnlr/internal/buildinfo"
 	"clnlr/internal/des"
 	"clnlr/internal/journey"
 	"clnlr/internal/metrics"
@@ -77,8 +78,15 @@ func main() {
 		configFile = flag.String("config", "", "load scenario from a JSON file (flags override its fields)")
 		dumpConfig = flag.String("dump-config", "", "write the effective scenario as JSON to this file and exit")
 		auditOn    = flag.Bool("audit", false, "run under the runtime invariant auditor (fails on any invariant violation)")
+		canonical  = flag.Bool("canonical-report", false, "zero the wall-clock fields of -report so the bytes are a pure function of the scenario (comparable against meshsimd-served reports)")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print("meshsim")
+		return
+	}
 
 	stopProf, err := profFlags.Start()
 	if err != nil {
@@ -235,6 +243,9 @@ func main() {
 			rep := sim.BuildReport(sc, r, col)
 			if agg != nil {
 				rep.Journey = agg.Report()
+			}
+			if *canonical {
+				rep = rep.Canonical()
 			}
 			if err := writeTo(*reportFile, rep.WriteJSON); err != nil {
 				log.Fatal(err)

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"clnlr/internal/buildinfo"
 	"clnlr/internal/journey"
 	"clnlr/internal/pkt"
 	"clnlr/internal/trace"
@@ -29,8 +30,13 @@ func main() {
 		event    = flag.String("event", "", "only events (or journey outcomes) containing this substring")
 		limit    = flag.Int("n", 0, "print at most this many matching records (0 = summary only)")
 		journeys = flag.Bool("journey", false, "input is packet journeys NDJSON (meshsim -journey-out): render per-hop delay timelines")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print("traceview")
+		return
+	}
 	if flag.NArg() != 1 {
 		log.Fatal("usage: traceview [flags] <trace.ndjson>")
 	}

@@ -1,0 +1,85 @@
+// Package buildinfo exposes one identity string shared by every binary in
+// the module: the VCS commit the binary was built from, whether the tree
+// was dirty, and the Go toolchain version — all read from the build info
+// the linker already embeds (debug.ReadBuildInfo), so nothing has to be
+// threaded through ldflags. Each cmd wires it to a -version flag; the
+// daemon additionally serves it at /version so a client can check what it
+// is talking to.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info is the machine-readable build identity.
+type Info struct {
+	// Module is the main module path ("clnlr").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Commit is the VCS revision, empty when the binary was built outside
+	// a checkout (e.g. `go test` binaries or GOFLAGS=-buildvcs=false).
+	Commit string `json:"commit,omitempty"`
+	// Dirty reports uncommitted changes in the checkout at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// read is swappable in tests.
+var read = debug.ReadBuildInfo
+
+// Get returns the build identity of the running binary. It degrades
+// gracefully: fields the toolchain did not record stay empty.
+func Get() Info {
+	info := Info{Module: "clnlr"}
+	bi, ok := read()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	info.Version = bi.Main.Version
+	info.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Commit = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line form the -version flags print:
+//
+//	clnlr (devel) commit 1234abcd-dirty go1.24.0
+func (i Info) String() string {
+	s := i.Module
+	if i.Version != "" {
+		s += " " + i.Version
+	}
+	if i.Commit != "" {
+		c := i.Commit
+		if len(c) > 12 {
+			c = c[:12]
+		}
+		if i.Dirty {
+			c += "-dirty"
+		}
+		s += " commit " + c
+	}
+	if i.GoVersion != "" {
+		s += " " + i.GoVersion
+	}
+	return s
+}
+
+// Print writes "<cmd>: <identity>" to stdout — the body of every -version
+// flag.
+func Print(cmd string) {
+	fmt.Printf("%s: %s\n", cmd, Get())
+}

@@ -1,0 +1,59 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// fake installs a synthetic build info for the duration of the test.
+func fake(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestGetReadsVCSSettings(t *testing.T) {
+	fake(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Path: "clnlr", Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	i := Get()
+	if i.Commit != "0123456789abcdef0123" || !i.Dirty || i.GoVersion != "go1.24.0" {
+		t.Fatalf("Get() = %+v", i)
+	}
+	s := i.String()
+	for _, want := range []string{"clnlr", "(devel)", "0123456789ab-dirty", "go1.24.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abc") {
+		t.Errorf("String() = %q, commit not truncated to 12 chars", s)
+	}
+}
+
+func TestGetDegradesWithoutBuildInfo(t *testing.T) {
+	fake(t, nil, false)
+	i := Get()
+	if i.Module != "clnlr" {
+		t.Fatalf("Get() without build info = %+v, want module fallback", i)
+	}
+	if i.String() == "" {
+		t.Fatal("String() empty without build info")
+	}
+}
+
+func TestGetRealBinary(t *testing.T) {
+	// The test binary always carries build info; the call must not panic
+	// and must report the toolchain.
+	i := Get()
+	if i.GoVersion == "" {
+		t.Fatalf("Get() on the test binary reports no Go version: %+v", i)
+	}
+}

@@ -101,6 +101,13 @@ func atomicWriteJSON(path string, v any) error {
 
 // writeCellReport checkpoints one clean, complete cell into dir.
 func writeCellReport(dir string, c *cell) error {
+	return atomicWriteJSON(filepath.Join(dir, cellFileName(c.label)), buildCellReport(c))
+}
+
+// buildCellReport assembles the CellReport of one clean, complete cell —
+// the same structure whether it is being checkpointed to disk or returned
+// to a RunCells caller, so the two paths cannot drift.
+func buildCellReport(c *cell) CellReport {
 	rep := CellReport{
 		Label:       c.label,
 		Fingerprint: c.sc.Fingerprint(),
@@ -135,7 +142,21 @@ func writeCellReport(dir string, c *cell) error {
 			rep.Journey = merged.Report()
 		}
 	}
-	return atomicWriteJSON(filepath.Join(dir, cellFileName(c.label)), rep)
+	return rep
+}
+
+// readCellReport loads the full checkpointed CellReport for a label (the
+// counters and journey sections loadCellReport leaves on disk included).
+func readCellReport(dir, label string) (CellReport, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, cellFileName(label)))
+	if err != nil {
+		return CellReport{}, false
+	}
+	var rep CellReport
+	if json.Unmarshal(data, &rep) != nil {
+		return CellReport{}, false
+	}
+	return rep, true
 }
 
 // loadCellReport loads c's checkpoint from dir if it exists, is complete

@@ -112,6 +112,18 @@ type RunReport struct {
 	Journey *journey.Report `json:"journey,omitempty"`
 }
 
+// Canonical returns a copy with the host-measured fields (WallSeconds,
+// SimPerWall) zeroed — the rest of the report is bit-reproducible, so the
+// canonical form's WriteJSON bytes are a pure function of the scenario.
+// This is the form meshsimd caches and serves: it is what makes "a served
+// report equals a directly-run report, byte for byte" a testable contract,
+// and what lets a cache hit return the same bytes a cold run produced.
+func (r RunReport) Canonical() RunReport {
+	r.WallSeconds = 0
+	r.SimPerWall = 0
+	return r
+}
+
 // WriteJSON writes the report as indented JSON (map keys sorted by
 // encoding/json, so the byte stream is stable).
 func (r RunReport) WriteJSON(w io.Writer) error {

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testKey derives a distinct valid (hex) cache key from i.
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte{byte(i), byte(i >> 8)})
+	return hex.EncodeToString(sum[:])
+}
+
+func TestCacheEntryCapEvictsLRU(t *testing.T) {
+	c, err := NewCache("", 1<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(testKey(i), []byte{byte(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get(testKey(0)); ok {
+		t.Fatal("oldest entry survived the entry cap")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.Get(testKey(i)); !ok {
+			t.Fatalf("entry %d evicted, want only the oldest gone", i)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestCacheByteCapEvictsLRU(t *testing.T) {
+	c, err := NewCache("", 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(testKey(0), make([]byte, 60))
+	c.Put(testKey(1), make([]byte, 30))
+	// Touch 0 so 1 is the LRU victim.
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Fatal("entry 0 missing before overflow")
+	}
+	c.Put(testKey(2), make([]byte, 40))
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("LRU entry survived the byte cap")
+	}
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Fatal("recently used entry was evicted instead of the LRU one")
+	}
+	if c.Bytes() > 100 {
+		t.Fatalf("bytes = %d over the 100-byte cap", c.Bytes())
+	}
+}
+
+func TestCacheOversizedEntryServedUncached(t *testing.T) {
+	c, err := NewCache("", 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(testKey(0), []byte("small"))
+	c.Put(testKey(1), make([]byte, 50)) // larger than the whole budget
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("oversized entry was cached")
+	}
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Fatal("oversized put evicted the resident entry for nothing")
+	}
+}
+
+func TestCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir, 1<<20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte(`{"report":1}` + "\n")
+	c1.Put(testKey(0), want)
+
+	// A fresh cache over the same directory — a daemon restart — serves
+	// the entry from disk.
+	c2, err := NewCache(dir, 1<<20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(testKey(0))
+	if !ok {
+		t.Fatal("disk entry not found after restart")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("disk round trip changed bytes: %q != %q", got, want)
+	}
+	// And the hit promoted it into memory.
+	if c2.Len() != 1 {
+		t.Fatalf("promoted len = %d, want 1", c2.Len())
+	}
+}
+
+func TestCacheCorruptDiskEntryRejected(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"bit-flip":  func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"bad-magic": func(b []byte) []byte { return append([]byte("not-a-cache-entry\n"), b...) },
+		"empty":     func([]byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := NewCache(dir, 1<<20, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey(7)
+			c.Put(key, []byte("precious result bytes"))
+			path := filepath.Join(dir, key+".entry")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh cache (no memory copy) must reject the damaged entry…
+			c2, err := NewCache(dir, 1<<20, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c2.Get(key); ok {
+				t.Fatal("corrupt disk entry was served")
+			}
+			if c2.DiskRejects() != 1 {
+				t.Fatalf("diskRejects = %d, want 1", c2.DiskRejects())
+			}
+			// …delete it…
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry file was not removed")
+			}
+			// …and a re-Put recovers as if it never existed.
+			c2.Put(key, []byte("recomputed"))
+			if got, ok := c2.Get(key); !ok || string(got) != "recomputed" {
+				t.Fatalf("recompute after corruption: got %q ok=%v", got, ok)
+			}
+		})
+	}
+}
+
+func TestCacheDiskPruneBoundsEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir, 1<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		c.Put(testKey(i), []byte(fmt.Sprintf("entry %d", i)))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".entry" {
+			n++
+		}
+	}
+	if n > 3 {
+		t.Fatalf("disk holds %d entries, cap is 3", n)
+	}
+}
+
+func TestCacheRejectsUnsafeKeys(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir, 1<<20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"../../etc/passwd", "short", "UPPERCASEHEX00", ""} {
+		c.Put(key, []byte("x"))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Fatalf("unsafe key produced a disk file: %s", e.Name())
+	}
+}

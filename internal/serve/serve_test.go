@@ -1,0 +1,501 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clnlr/internal/des"
+	"clnlr/internal/journey"
+	"clnlr/internal/metrics"
+	"clnlr/internal/sim"
+)
+
+// testScenario is a down-scaled configuration fast enough to simulate
+// many times per test binary.
+func testScenario(seed uint64) sim.Scenario {
+	sc := sim.DefaultScenario()
+	sc.Name = "serve-test"
+	sc.Seed = seed
+	sc.Rows, sc.Cols = 4, 4
+	sc.AreaM = 4 * 1000.0 / 7
+	sc.Flows = 3
+	sc.PacketRate = 2
+	sc.Warmup = des.Second
+	sc.Measure = 4 * des.Second
+	return sc
+}
+
+func scenarioJSON(t *testing.T, sc sim.Scenario) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// directRunBytes reproduces the meshsim -report -canonical-report output
+// for sc — the reference the daemon must match byte for byte.
+func directRunBytes(t *testing.T, sc sim.Scenario, journeyN int) []byte {
+	t.Helper()
+	col := metrics.NewCollector(des.Time(100 * time.Millisecond))
+	var rec *journey.Recorder
+	if journeyN > 0 {
+		rec = journey.NewRecorder(journeyN, true)
+	}
+	r, err := sim.RunJourney(sc, nil, col, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sim.BuildReport(sc, r, col)
+	if rec != nil {
+		agg := journey.NewAgg(rec.EveryN())
+		rec.Aggregate(agg)
+		rep.Journey = agg.Report()
+	}
+	var buf bytes.Buffer
+	if err := rep.Canonical().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServedRunMatchesDirectBytes is the service's core guarantee: a
+// served single-run report is byte-identical to running the same scenario
+// through the engine directly, and a repeated submission is a cache hit
+// carrying the same bytes without a second engine run.
+func TestServedRunMatchesDirectBytes(t *testing.T) {
+	sc := testScenario(11)
+	want := directRunBytes(t, sc, 0)
+
+	srv, ts := newTestServer(t, Config{})
+	resp, got := post(t, ts, "/v1/run", RunRequest{Scenario: scenarioJSON(t, sc)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first submission X-Cache = %q, want miss", resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served report differs from direct run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	resp2, got2 := post(t, ts, "/v1/run", RunRequest{Scenario: scenarioJSON(t, sc)})
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second submission X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(got2, want) {
+		t.Fatal("cache hit served different bytes")
+	}
+	st := srv.Stats()
+	if st.EngineRuns != 1 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 engine run, 1 hit, 1 miss", st)
+	}
+}
+
+// TestJourneyDivisorChangesKey pins the cache-keying satellite: the
+// journey divisor lives outside Scenario (so outside its fingerprint) and
+// must still separate cache entries.
+func TestJourneyDivisorChangesKey(t *testing.T) {
+	sc := testScenario(12)
+	raw := scenarioJSON(t, sc)
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := post(t, ts, "/v1/run", RunRequest{Scenario: raw})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain run: %d %s", resp.StatusCode, body)
+	}
+	respJ, bodyJ := post(t, ts, "/v1/run", RunRequest{Scenario: raw, JourneyEveryN: 1})
+	if respJ.StatusCode != http.StatusOK {
+		t.Fatalf("journey run: %d %s", respJ.StatusCode, bodyJ)
+	}
+	if respJ.Header.Get("X-Cache") != "miss" {
+		t.Fatal("journey-traced run was served from the plain run's cache slot")
+	}
+	if resp.Header.Get("X-Job-Key") == respJ.Header.Get("X-Job-Key") {
+		t.Fatal("journey divisor did not change the job key")
+	}
+	if want := directRunBytes(t, sc, 1); !bytes.Equal(bodyJ, want) {
+		t.Fatal("journey-traced served report differs from direct run")
+	}
+}
+
+// TestConcurrentIdenticalSubmissionsRunOnce pins singleflight: N clients
+// racing the same content cost one simulation and all read the same bytes.
+func TestConcurrentIdenticalSubmissionsRunOnce(t *testing.T) {
+	sc := testScenario(13)
+	raw := scenarioJSON(t, sc)
+	srv, ts := newTestServer(t, Config{Workers: 4})
+
+	const n = 6
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts, "/v1/run", RunRequest{Scenario: raw})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d read different bytes", i)
+		}
+	}
+	if runs := srv.Stats().EngineRuns; runs != 1 {
+		t.Fatalf("%d concurrent identical submissions cost %d engine runs, want 1", n, runs)
+	}
+}
+
+// TestQueueFullSheds429 pins admission control: with one worker occupied
+// and the one queue slot taken, a third distinct submission is refused
+// immediately with 429 and a positive Retry-After — never blocked.
+func TestQueueFullSheds429(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	srv.runHook = func(*job) ([]byte, error) {
+		started <- struct{}{}
+		<-gate
+		return []byte("{}\n"), nil
+	}
+
+	results := make(chan int, 2)
+	submit := func(seed uint64) {
+		resp, _ := post(t, ts, "/v1/run", RunRequest{Scenario: scenarioJSON(t, testScenario(seed))})
+		results <- resp.StatusCode
+	}
+	go submit(1)
+	<-started // job 1 occupies the worker
+	go submit(2)
+	for i := 0; srv.Stats().QueueLen != 1; i++ { // job 2 occupies the queue slot
+		if i > 500 {
+			t.Fatal("second job never reached the queue")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, body := post(t, ts, "/v1/run", RunRequest{Scenario: scenarioJSON(t, testScenario(3))})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue answered %d (%s), want 429", resp.StatusCode, body)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	if srv.Stats().Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", srv.Stats().Shed)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("admitted job answered %d, want 200", code)
+		}
+	}
+}
+
+// TestShutdownDrains pins the graceful drain: after Shutdown begins, new
+// submissions get 503, the in-flight job still completes and its waiter
+// still gets its bytes, and Shutdown returns once everything is done.
+func TestShutdownDrains(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	srv.runHook = func(*job) ([]byte, error) {
+		started <- struct{}{}
+		<-gate
+		return []byte(`{"drained":true}`), nil
+	}
+
+	type reply struct {
+		code int
+		body []byte
+	}
+	inflight := make(chan reply, 1)
+	go func() {
+		resp, body := post(t, ts, "/v1/run", RunRequest{Scenario: scenarioJSON(t, testScenario(21))})
+		inflight <- reply{resp.StatusCode, body}
+	}()
+	<-started
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	for i := 0; !srv.Draining(); i++ {
+		if i > 500 {
+			t.Fatal("draining flag never set")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, _ := post(t, ts, "/v1/run", RunRequest{Scenario: scenarioJSON(t, testScenario(22))})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining daemon answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 refusal carries no Retry-After")
+	}
+
+	close(gate)
+	r := <-inflight
+	if r.code != http.StatusOK || string(r.body) != `{"drained":true}` {
+		t.Fatalf("in-flight job answered %d %q, want its bytes", r.code, r.body)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if !srv.Stats().Draining {
+		t.Fatal("stats do not report draining")
+	}
+}
+
+func sweepBody(t *testing.T, seed uint64) SweepRequest {
+	sc := testScenario(seed)
+	sc.Measure = 3 * des.Second
+	return SweepRequest{
+		Name:     "cmp",
+		Scenario: scenarioJSON(t, sc),
+		Schemes:  []string{"flood", "clnlr"},
+		Reps:     2,
+	}
+}
+
+// TestServedSweepSurvivesRestart pins the disk tier: a sweep computed by
+// one daemon is served byte-identically by a fresh daemon over the same
+// cache directory without any engine run.
+func TestServedSweepSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := sweepBody(t, 31)
+
+	srv1, ts1 := newTestServer(t, Config{CacheDir: dir, JobWorkers: 1})
+	resp, want := post(t, ts1, "/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, want)
+	}
+	var rep SweepReport
+	if err := json.Unmarshal(want, &rep); err != nil {
+		t.Fatalf("sweep response is not a SweepReport: %v", err)
+	}
+	if len(rep.Cells) != 2 || rep.Cells[0].Reps != 2 || len(rep.Cells[1].Results) != 2 {
+		t.Fatalf("unexpected sweep shape: %+v", rep)
+	}
+	if srv1.Stats().EngineRuns != 1 {
+		t.Fatalf("sweep cost %d jobs, want 1", srv1.Stats().EngineRuns)
+	}
+
+	srv2, ts2 := newTestServer(t, Config{CacheDir: dir, JobWorkers: 1})
+	resp2, got := post(t, ts2, "/v1/sweep", req)
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("restarted daemon X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restarted daemon served different bytes")
+	}
+	if srv2.Stats().EngineRuns != 0 {
+		t.Fatal("restarted daemon re-ran a cached sweep")
+	}
+}
+
+// TestSweepInterruptResumesBitIdentically pins the drain/resume loop: a
+// sweep interrupted by shutdown after its first cell checkpoints that
+// cell; resubmitting the same content to a fresh daemon over the same
+// cache directory re-runs only the missing cell and produces bytes
+// identical to a never-interrupted sweep.
+func TestSweepInterruptResumesBitIdentically(t *testing.T) {
+	req := sweepBody(t, 41)
+
+	// Reference: the same sweep, uninterrupted, on its own directory.
+	_, refTS := newTestServer(t, Config{CacheDir: t.TempDir(), JobWorkers: 1})
+	refResp, want := post(t, refTS, "/v1/sweep", req)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("reference sweep: %d %s", refResp.StatusCode, want)
+	}
+
+	dir := t.TempDir()
+	srv1, ts1 := newTestServer(t, Config{CacheDir: dir, JobWorkers: 1})
+	var runs atomic.Int32
+	sim.TestHookRun = func(sim.Scenario) {
+		// Begin draining while cell 1's second replication runs: the
+		// planner finishes it, checkpoints the completed cell, and skips
+		// cell 2 — the deterministic mid-sweep shutdown.
+		if runs.Add(1) == 2 {
+			srv1.draining.Store(true)
+		}
+	}
+	defer func() { sim.TestHookRun = nil }()
+
+	resp, body := post(t, ts1, "/v1/sweep", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("interrupted sweep answered %d (%s), want 503", resp.StatusCode, body)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("interrupted sweep ran %d replications, want 2 (first cell only)", runs.Load())
+	}
+
+	// "Restart": a fresh daemon over the same directory, same submission.
+	srv2, ts2 := newTestServer(t, Config{CacheDir: dir, JobWorkers: 1})
+	resp2, got := post(t, ts2, "/v1/sweep", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resumed sweep: %d %s", resp2.StatusCode, got)
+	}
+	if total := runs.Load(); total != 4 {
+		t.Fatalf("interrupt+resume cost %d replications total, want 4 (2 checkpointed + 2 resumed)", total)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed sweep bytes differ from an uninterrupted sweep")
+	}
+	if srv2.Stats().EngineRuns != 1 {
+		t.Fatalf("resume cost %d jobs, want 1", srv2.Stats().EngineRuns)
+	}
+}
+
+// TestJobStatusAndStream covers the observation surface: async submission
+// answers 202 with a job key, the status endpoint tracks it, the NDJSON
+// stream ends with a terminal state, and a finished job reports done.
+func TestJobStatusAndStream(t *testing.T) {
+	sc := testScenario(51)
+	_, ts := newTestServer(t, Config{StreamInterval: 10 * time.Millisecond})
+
+	resp, body := post(t, ts, "/v1/sweep?async=1", SweepRequest{
+		Scenario: scenarioJSON(t, sc),
+		Reps:     1,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submission answered %d (%s), want 202", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil || st.Key == "" {
+		t.Fatalf("bad async status %q: %v", body, err)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + st.Key + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	dec := json.NewDecoder(sresp.Body)
+	var last JobStatus
+	for dec.More() {
+		if err := dec.Decode(&last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.State != "done" {
+		t.Fatalf("stream ended in state %q, want done", last.State)
+	}
+
+	gresp, gbody := get(t, ts, "/v1/jobs/"+st.Key)
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("status after completion: %d", gresp.StatusCode)
+	}
+	var final JobStatus
+	if err := json.Unmarshal(gbody, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" || !final.Cached {
+		t.Fatalf("final status %+v, want cached done", final)
+	}
+
+	if resp, _ := get(t, ts, "/v1/jobs/"+fmt.Sprintf("%064d", 0)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job answered %d, want 404", resp.StatusCode)
+	}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestBadRequests covers request validation: malformed JSON, invalid
+// scenarios and non-positive reps are 400s, not executions.
+func TestBadRequests(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/v1/run", `{"scenario": {"Rows": -3}}`},
+		{"/v1/run", `not json`},
+		{"/v1/run", `{"unknown_field": 1}`},
+		{"/v1/run", `{"journey_every_n": -1}`},
+		{"/v1/sweep", `{"reps": 0}`},
+		{"/v1/sweep", `{"reps": 2, "schemes": ["ospf"]}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %q answered %d, want 400", c.path, c.body, resp.StatusCode)
+		}
+	}
+	if runs := srv.Stats().EngineRuns; runs != 0 {
+		t.Fatalf("bad requests triggered %d engine runs", runs)
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"clnlr/internal/metrics"
+)
+
+// JobStatus is the wire shape of one job's point-in-time state, served at
+// /v1/jobs/{key} and emitted by the progress stream.
+type JobStatus struct {
+	Key   string `json:"key"`
+	Kind  string `json:"kind,omitempty"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Cached marks a status synthesised from the result cache: the job is
+	// long gone, its bytes are ready.
+	Cached bool `json:"cached,omitempty"`
+	// Progress carries the sweep's replication progress while it runs.
+	Progress *metrics.Snapshot `json:"progress,omitempty"`
+}
+
+// statusOf snapshots a live (or just-finished) job under the server lock.
+func (s *Server) statusOf(j *job) JobStatus {
+	s.mu.Lock()
+	st := JobStatus{Key: j.key, Kind: j.kind, State: j.state.String()}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	s.mu.Unlock()
+	if j.prog != nil && (st.State == "queued" || st.State == "running") {
+		snap := j.prog.Snapshot()
+		st.Progress = &snap
+	}
+	return st
+}
+
+// jobStatus resolves a key to a status: a live job if one exists,
+// otherwise a cached "done" if the result is in the cache.
+func (s *Server) jobStatus(key string) (JobStatus, *job, bool) {
+	s.mu.Lock()
+	j, live := s.jobs[key]
+	s.mu.Unlock()
+	if live {
+		return s.statusOf(j), j, true
+	}
+	if s.cache.Contains(key) {
+		return JobStatus{Key: key, State: "done", Cached: true}, nil, true
+	}
+	return JobStatus{}, nil, false
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, _, ok := s.jobStatus(r.PathValue("key"))
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobStream streams a job's status until it finishes: NDJSON by
+// default, Server-Sent Events when the client asks for text/event-stream.
+// One status is emitted immediately, then every Config.StreamInterval,
+// then a final one when the job completes.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	st, j, ok := s.jobStatus(key)
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	fl, canFlush := w.(http.Flusher)
+	emit := func(st JobStatus) {
+		data, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprintf(w, "data: %s\n\n", data)
+		} else {
+			fmt.Fprintf(w, "%s\n", data)
+		}
+		if canFlush {
+			fl.Flush()
+		}
+	}
+	emit(st)
+	if j == nil {
+		return // already finished; the one emitted status is final
+	}
+	tick := time.NewTicker(s.cfg.StreamInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			emit(s.statusOf(j))
+			return
+		case <-tick.C:
+			emit(s.statusOf(j))
+		}
+	}
+}
