@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Cache is the content-addressed result store: an in-memory LRU tier with
@@ -229,6 +230,11 @@ func (c *Cache) diskGet(key string) ([]byte, bool) {
 		os.Remove(c.diskPath(key))
 		return nil, false
 	}
+	// Touch the entry so diskPrune's mtime ordering is true LRU — without
+	// this, eviction would be write-order FIFO and frequently-hit entries
+	// would be pruned before cold ones.
+	now := time.Now()
+	os.Chtimes(c.diskPath(key), now, now)
 	return data, true
 }
 

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // testKey derives a distinct valid (hex) cache key from i.
@@ -176,6 +177,46 @@ func TestCacheDiskPruneBoundsEntries(t *testing.T) {
 	}
 	if n > 3 {
 		t.Fatalf("disk holds %d entries, cap is 3", n)
+	}
+}
+
+// TestCacheDiskPruneEvictsLeastRecentlyRead pins the disk tier's eviction
+// order: a disk hit refreshes the entry's mtime, so pruning drops the
+// least-recently-read entry, not simply the least-recently-written one.
+func TestCacheDiskPruneEvictsLeastRecentlyRead(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir, 1<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c1.Put(testKey(i), []byte{byte(i)})
+	}
+	// Backdate the entries with distinct mtimes, oldest first.
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 3; i++ {
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, testKey(i)+".entry"), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fresh cache (no memory copy) reads entry 0 from disk; the hit
+	// must move it out of the prune victim slot.
+	c2, err := NewCache(dir, 1<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(testKey(0)); !ok {
+		t.Fatal("entry 0 missing from disk")
+	}
+	c2.Put(testKey(3), []byte{3}) // fourth entry triggers a prune
+
+	if _, err := os.Stat(filepath.Join(dir, testKey(0)+".entry")); err != nil {
+		t.Fatal("recently read entry was pruned")
+	}
+	if _, err := os.Stat(filepath.Join(dir, testKey(1)+".entry")); !os.IsNotExist(err) {
+		t.Fatal("least-recently-read entry survived the prune")
 	}
 }
 

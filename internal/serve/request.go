@@ -117,8 +117,17 @@ func normalizeSweep(req SweepRequest) (sweepJob, error) {
 	case len(req.Schemes) == 1 && req.Schemes[0] == "all":
 		schemes = sim.AllSchemes()
 	case len(req.Schemes) > 0:
+		// Deduplicate while preserving order: duplicate schemes would
+		// produce cells with identical labels sharing one checkpoint file,
+		// and would split the cache between equivalent submissions.
+		seen := make(map[sim.Scheme]bool, len(req.Schemes))
 		for _, s := range req.Schemes {
-			schemes = append(schemes, sim.Scheme(s))
+			scheme := sim.Scheme(s)
+			if seen[scheme] {
+				continue
+			}
+			seen[scheme] = true
+			schemes = append(schemes, scheme)
 		}
 	default:
 		schemes = []sim.Scheme{sc.Scheme}
@@ -164,6 +173,10 @@ type keyMaterial struct {
 	JourneyEveryN  int      `json:"journey_every_n,omitempty"`
 	Reps           int      `json:"reps,omitempty"`
 	Schemes        []string `json:"schemes,omitempty"`
+	// Name is baked into the served bytes (SweepReport.Name and every
+	// cell label), so two sweeps differing only in name must not share a
+	// cache slot.
+	Name string `json:"name,omitempty"`
 }
 
 // hash derives the content address: SHA-256 over the canonical JSON of
@@ -198,5 +211,6 @@ func (j sweepJob) key() string {
 		JourneyEveryN: j.journeyN,
 		Reps:          j.reps,
 		Schemes:       names,
+		Name:          j.name,
 	}.hash()
 }

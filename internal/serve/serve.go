@@ -64,6 +64,13 @@ type Config struct {
 	// StreamInterval is the progress-stream emission period
 	// (default 500 ms).
 	StreamInterval time.Duration
+
+	// FailedJobRetention bounds how long a failed job's terminal status
+	// (including ErrInterrupted from a drained sweep) stays queryable at
+	// /v1/jobs/{key} after completion (default 5 min). Successful jobs
+	// need no retention: their results live in the cache, which the
+	// status endpoint consults.
+	FailedJobRetention time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamInterval <= 0 {
 		c.StreamInterval = 500 * time.Millisecond
+	}
+	if c.FailedJobRetention <= 0 {
+		c.FailedJobRetention = 5 * time.Minute
 	}
 	return c
 }
@@ -252,11 +262,22 @@ func (s *Server) runJob(j *job) {
 	if err != nil {
 		j.state = jobFailed
 		s.jobsFailed.Add(1)
+		// Retain the failed job so an async poller can still observe the
+		// error at /v1/jobs/{key} (a done job's status is synthesised from
+		// the cache; a failure has no cache entry). admit treats a failed
+		// entry as absent, so a resubmission re-runs rather than joining.
+		time.AfterFunc(s.cfg.FailedJobRetention, func() {
+			s.mu.Lock()
+			if cur, ok := s.jobs[j.key]; ok && cur == j {
+				delete(s.jobs, j.key)
+			}
+			s.mu.Unlock()
+		})
 	} else {
 		j.state = jobDone
 		s.jobsDone.Add(1)
+		delete(s.jobs, j.key)
 	}
-	delete(s.jobs, j.key)
 	s.mu.Unlock()
 	close(j.done)
 }
@@ -311,7 +332,10 @@ const (
 func (s *Server) admit(kind, key string, prog *metrics.Progress, exec func(*job) ([]byte, error)) (*job, admitStatus) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if j, ok := s.jobs[key]; ok {
+	// A retained failed job is terminal history, not joinable work: a
+	// resubmission of the same content gets a fresh execution (replacing
+	// the failed entry) instead of the stale error.
+	if j, ok := s.jobs[key]; ok && j.state != jobFailed {
 		return j, admitJoined
 	}
 	if s.closed || s.draining.Load() {

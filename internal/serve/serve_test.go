@@ -401,6 +401,155 @@ func TestSweepInterruptResumesBitIdentically(t *testing.T) {
 	}
 }
 
+// TestSweepNameChangesKeyAndBytes pins the cache key against the one
+// request field outside scenario/params that is baked into the served
+// bytes: two sweeps identical except for Name must occupy distinct cache
+// slots and each serve its own name and cell labels.
+func TestSweepNameChangesKeyAndBytes(t *testing.T) {
+	sc := testScenario(71)
+	sc.Measure = 2 * des.Second
+	raw := scenarioJSON(t, sc)
+	_, ts := newTestServer(t, Config{JobWorkers: 1})
+
+	reqA := SweepRequest{Name: "alpha", Scenario: raw, Schemes: []string{"flood"}, Reps: 1}
+	respA, bodyA := post(t, ts, "/v1/sweep", reqA)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("sweep alpha: %d %s", respA.StatusCode, bodyA)
+	}
+
+	reqB := reqA
+	reqB.Name = "beta"
+	respB, bodyB := post(t, ts, "/v1/sweep", reqB)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("sweep beta: %d %s", respB.StatusCode, bodyB)
+	}
+	if respB.Header.Get("X-Cache") != "miss" {
+		t.Fatal("sweep differing only in name was served from the other name's cache slot")
+	}
+	if respA.Header.Get("X-Job-Key") == respB.Header.Get("X-Job-Key") {
+		t.Fatal("sweep name did not change the job key")
+	}
+	for _, c := range []struct {
+		name string
+		body []byte
+	}{{"alpha", bodyA}, {"beta", bodyB}} {
+		var rep SweepReport
+		if err := json.Unmarshal(c.body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Name != c.name {
+			t.Fatalf("served sweep name %q, want %q", rep.Name, c.name)
+		}
+		if len(rep.Cells) != 1 || rep.Cells[0].Label != c.name+" flood" {
+			t.Fatalf("served cell labels %+v, want [%q]", rep.Cells, c.name+" flood")
+		}
+	}
+}
+
+// TestDuplicateSchemesDeduped pins scheme normalization: duplicates are
+// dropped (no identical cell labels fighting over one checkpoint file)
+// and a request with duplicates shares the deduplicated request's cache
+// slot.
+func TestDuplicateSchemesDeduped(t *testing.T) {
+	raw := scenarioJSON(t, testScenario(72))
+	dup, err := normalizeSweep(SweepRequest{Scenario: raw, Schemes: []string{"flood", "flood", "clnlr"}, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deduped, err := normalizeSweep(SweepRequest{Scenario: raw, Schemes: []string{"flood", "clnlr"}, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup.schemes) != 2 {
+		t.Fatalf("duplicate schemes normalized to %v, want 2 distinct", dup.schemes)
+	}
+	if dup.key() != deduped.key() {
+		t.Fatal("duplicate-scheme submission misses the deduplicated submission's cache slot")
+	}
+}
+
+// TestFailedJobStatusRetained pins failure observability: an async
+// submission whose execution fails must stay queryable at /v1/jobs/{key}
+// with its error for the retention window (failures are never cached, so
+// without retention the status would 404 the moment the job finished), a
+// resubmission must re-run instead of joining the failed entry, and the
+// entry must expire after the window.
+func TestFailedJobStatusRetained(t *testing.T) {
+	srv, ts := newTestServer(t, Config{FailedJobRetention: 200 * time.Millisecond})
+	var fail atomic.Bool
+	fail.Store(true)
+	srv.runHook = func(*job) ([]byte, error) {
+		if fail.Load() {
+			return nil, fmt.Errorf("synthetic engine failure")
+		}
+		return []byte("{}\n"), nil
+	}
+
+	req := RunRequest{Scenario: scenarioJSON(t, testScenario(61))}
+	resp, body := post(t, ts, "/v1/run?async=1", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submission answered %d (%s), want 202", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil || st.Key == "" {
+		t.Fatalf("bad async status %q: %v", body, err)
+	}
+
+	var failed JobStatus
+	for i := 0; ; i++ {
+		gresp, gbody := get(t, ts, "/v1/jobs/"+st.Key)
+		if gresp.StatusCode != http.StatusOK {
+			t.Fatalf("status of failed job answered %d, want 200", gresp.StatusCode)
+		}
+		if err := json.Unmarshal(gbody, &failed); err != nil {
+			t.Fatal(err)
+		}
+		if failed.State == "failed" {
+			break
+		}
+		if i > 500 {
+			t.Fatalf("job never reached failed state (last %+v)", failed)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if failed.Error != "synthetic engine failure" {
+		t.Fatalf("retained status error %q, want the execution error", failed.Error)
+	}
+
+	// A resubmission replaces the failed entry with a fresh execution
+	// instead of joining it and replaying the stale error.
+	fail.Store(false)
+	resp2, body2 := post(t, ts, "/v1/run", req)
+	if resp2.StatusCode != http.StatusOK || string(body2) != "{}\n" {
+		t.Fatalf("resubmission after failure answered %d %q, want fresh result", resp2.StatusCode, body2)
+	}
+	if runs := srv.Stats().EngineRuns; runs != 2 {
+		t.Fatalf("resubmission after failure cost %d total runs, want 2", runs)
+	}
+
+	// A key that only ever failed expires from the table after the
+	// retention window and becomes 404.
+	fail.Store(true)
+	resp3, body3 := post(t, ts, "/v1/run?async=1", RunRequest{Scenario: scenarioJSON(t, testScenario(62))})
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("second async submission answered %d (%s), want 202", resp3.StatusCode, body3)
+	}
+	var st3 JobStatus
+	if err := json.Unmarshal(body3, &st3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		gresp, _ := get(t, ts, "/v1/jobs/"+st3.Key)
+		if gresp.StatusCode == http.StatusNotFound {
+			break
+		}
+		if i > 2000 {
+			t.Fatal("failed job never expired from the status table")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // TestJobStatusAndStream covers the observation surface: async submission
 // answers 202 with a job key, the status endpoint tracks it, the NDJSON
 // stream ends with a terminal state, and a finished job reports done.

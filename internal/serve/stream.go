@@ -97,8 +97,8 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	emit(st)
-	if j == nil {
-		return // already finished; the one emitted status is final
+	if j == nil || st.State == "done" || st.State == "failed" {
+		return // already terminal; the one emitted status is final
 	}
 	tick := time.NewTicker(s.cfg.StreamInterval)
 	defer tick.Stop()
